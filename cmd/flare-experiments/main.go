@@ -1,0 +1,162 @@
+// Command flare-experiments regenerates every table and figure of the
+// paper's evaluation and writes them as text and CSV files.
+//
+// Usage:
+//
+//	flare-experiments [-out results] [-days 28] [-clusters 18] [-seed 1] [-quick]
+//
+// -quick shrinks the trace to 7 days for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flare/internal/experiments"
+	"flare/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flare-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "results", "output directory")
+	days := flag.Int("days", 28, "simulated collection window in days")
+	clusters := flag.Int("clusters", 18, "representative count")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "7-day quick mode")
+	flag.Parse()
+
+	if *quick {
+		*days = 7
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	fmt.Printf("building experiment environment (%d-day trace)...\n", *days)
+	env, err := experiments.NewEnv(experiments.EnvOptions{
+		Seed:      *seed,
+		TraceDays: *days,
+		Clusters:  *clusters,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d scenarios, %d PCs, %d clusters (%.1fs)\n",
+		env.Scenarios().Len(), env.Analysis.PCA.NumPC, env.Analysis.Clustering.K,
+		time.Since(start).Seconds())
+
+	type experiment struct {
+		name string
+		fn   func(*experiments.Env) (*report.Table, error)
+	}
+	all := []experiment{
+		{"table2_machine_specs", experiments.Table2},
+		{"table3_job_catalog", experiments.Table3},
+		{"table4_features", experiments.Table4},
+		{"table5_two_shapes", experiments.Table5},
+		{"figure2_loadtesting_pitfall", experiments.Figure2},
+		{"figure3a_occupancy", experiments.Figure3a},
+		{"figure3b_impact_vs_mpki", experiments.Figure3b},
+		{"figure6_metric_catalog", experiments.Figure6},
+		{"figure7_pca_variance", experiments.Figure7},
+		{"figure8_pc_loadings", experiments.Figure8},
+		{"figure9_cluster_sweep", experiments.Figure9},
+		{"figure10_cluster_radar", experiments.Figure10},
+		{"figure11_per_cluster_impact", experiments.Figure11},
+		{"figure12a_alljob_accuracy", experiments.Figure12a},
+		{"figure12b_perjob_accuracy", experiments.Figure12b},
+		{"figure13_cost_accuracy", experiments.Figure13},
+		{"figure14a_shape_shift", experiments.Figure14a},
+		{"figure14b_hetero_estimation", experiments.Figure14b},
+		{"headline_claims", experiments.HeadlineClaims},
+		{"ablation_cluster_count", func(e *experiments.Env) (*report.Table, error) {
+			return experiments.AblationClusterCount(e, []int{6, 12, 18, 24, 30})
+		}},
+		{"ablation_pc_count", func(e *experiments.Env) (*report.Table, error) {
+			return experiments.AblationPCCount(e, []float64{0.5, 0.7, 0.9, 0.95, 0.99})
+		}},
+		{"ablation_whitening", experiments.AblationWhitening},
+		{"ablation_refinement", experiments.AblationRefinement},
+		{"ablation_representative_selection", experiments.AblationRepresentativeSelection},
+		{"ablation_weighting", experiments.AblationWeighting},
+		{"ablation_clustering_method", experiments.AblationClusteringMethod},
+		{"extension_temporal_metrics", experiments.ExtensionTemporalMetrics},
+		{"extension_canary_comparison", experiments.ExtensionCanaryComparison},
+		{"extension_ibench_replay", experiments.ExtensionIBenchReplay},
+		{"extension_drift_detection", experiments.ExtensionDriftDetection},
+		{"extension_perjob_metrics", experiments.ExtensionPerJobMetrics},
+		{"extension_alternative_metrics", experiments.ExtensionAlternativeMetrics},
+		{"extension_scheduler_policies", experiments.ExtensionSchedulerPolicies},
+		{"extension_confidence_intervals", experiments.ExtensionConfidenceIntervals},
+	}
+
+	for _, ex := range all {
+		t0 := time.Now()
+		tb, err := ex.fn(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		if err := writeTable(*out, ex.name, tb); err != nil {
+			return err
+		}
+		fmt.Printf("  %-36s %5d rows  %6.2fs\n", ex.name, len(tb.Rows), time.Since(t0).Seconds())
+	}
+	svgs := map[string]func(*experiments.Env) (string, error){
+		"figure2":   experiments.Figure2SVG,
+		"figure3a":  experiments.Figure3aSVG,
+		"figure7":   experiments.Figure7SVG,
+		"figure9":   experiments.Figure9SVG,
+		"figure10":  experiments.Figure10SVG,
+		"figure12a": experiments.Figure12aSVG,
+		"figure13":  experiments.Figure13SVG,
+	}
+	for name, fn := range svgs {
+		svg, err := fn(env)
+		if err != nil {
+			return fmt.Errorf("%s.svg: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, name+".svg"), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d SVG figures\n", len(svgs))
+	fmt.Printf("done in %.1fs; results in %s/\n", time.Since(start).Seconds(), *out)
+	return nil
+}
+
+func writeTable(dir, name string, tb *report.Table) error {
+	txt, err := os.Create(filepath.Join(dir, name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if _, err := txt.WriteString(tb.Render()); err != nil {
+		return err
+	}
+
+	csv, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	if err := tb.WriteCSV(csv); err != nil {
+		return err
+	}
+
+	md, err := os.Create(filepath.Join(dir, name+".md"))
+	if err != nil {
+		return err
+	}
+	defer md.Close()
+	return tb.WriteMarkdown(md)
+}

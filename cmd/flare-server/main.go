@@ -1,0 +1,99 @@
+// Command flare-server runs the FLARE pipeline once and serves its
+// results and feature estimates over HTTP.
+//
+// Usage:
+//
+//	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1]
+//
+// Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
+// /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC].
+// The process shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flare-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	days := flag.Int("days", 14, "simulated collection window in days")
+	clusters := flag.Int("clusters", 18, "representative count")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("building pipeline (%d-day trace)...\n", *days)
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Seed = *seed
+	simCfg.Duration = time.Duration(*days) * 24 * time.Hour
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Profile.Seed = *seed
+	cfg.Analyze.Seed = *seed
+	cfg.Analyze.Clusters = *clusters
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := p.Profile(trace.Scenarios); err != nil {
+		return err
+	}
+	if err := p.Analyze(); err != nil {
+		return err
+	}
+	srv, err := server.New(p, machine.PaperFeatures())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline ready: %d scenarios, %d representatives\n",
+		trace.Scenarios.Len(), len(p.Representatives()))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case sig := <-stop:
+		fmt.Printf("received %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,242 @@
+// Command flare runs the full FLARE pipeline end-to-end: simulate (or
+// load) a datacenter scenario population, profile it, extract
+// representative colocation scenarios, and estimate the impact of the
+// paper's three features (Table 4).
+//
+// Usage:
+//
+//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-per-job] [-v]
+//
+// With -scenarios, the population is loaded from a JSON file written by
+// the dcsim command instead of being re-simulated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flare/internal/clustertrace"
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/perfscore"
+	"flare/internal/replayer"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	days := flag.Int("days", 28, "simulated collection window in days (ignored with -scenarios/-trace-csv)")
+	seed := flag.Int64("seed", 1, "random seed for the whole pipeline")
+	clusters := flag.Int("clusters", 18, "representative count; 0 selects automatically from the sweep knee")
+	scenariosPath := flag.String("scenarios", "", "load the scenario population from this JSON file")
+	traceCSV := flag.String("trace-csv", "", "load the population from a cluster-trace task-event CSV")
+	perJob := flag.Bool("per-job", false, "also print per-HP-job impact estimates")
+	verbose := flag.Bool("v", false, "print the PC interpretations and representative scenarios")
+	planOut := flag.String("plan-out", "", "write the replay plan (representatives + weights) to this JSON file")
+	planIn := flag.String("plan", "", "skip profiling/analysis and estimate from a previously exported plan")
+	catalogPath := flag.String("catalog", "", "load a site-specific job catalog from this JSON file")
+	catalogOut := flag.String("catalog-out", "", "write the default job catalog as JSON (template for -catalog) and exit")
+	flag.Parse()
+
+	if *catalogOut != "" {
+		f, err := os.Create(*catalogOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := workload.DefaultCatalog().WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote default job catalog to %s\n", *catalogOut)
+		return nil
+	}
+
+	if *planIn != "" {
+		return estimateFromPlan(*planIn, *seed, *perJob)
+	}
+
+	set, err := loadScenarios(*scenariosPath, *traceCSV, *days, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario population: %d distinct colocations\n", set.Len())
+
+	cfg := core.DefaultConfig()
+	cfg.Profile.Seed = *seed
+	cfg.Analyze.Seed = *seed
+	cfg.Analyze.Clusters = *clusters
+	cfg.Replay.Seed = *seed
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		cat, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Jobs = cat
+		fmt.Printf("loaded %d job profiles from %s\n", cat.Len(), *catalogPath)
+	}
+
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("profiling every scenario (step 1)...")
+	if err := p.Profile(set); err != nil {
+		return err
+	}
+	fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
+	if err := p.Analyze(); err != nil {
+		return err
+	}
+
+	an := p.Analysis()
+	fmt.Printf("  refined metrics: %d of %d raw\n", len(an.RefinedNames), cfg.Metrics.Len())
+	fmt.Printf("  principal components: %d (>= 95%% variance)\n", an.PCA.NumPC)
+	fmt.Printf("  clusters / representatives: %d\n", len(an.Representatives))
+
+	if *verbose {
+		fmt.Println("\nhigh-level metric interpretations (Fig 8):")
+		for _, lbl := range an.Labels {
+			fmt.Printf("  PC%-2d (%.1f%%): %s\n", lbl.Index, 100*lbl.Explained, lbl.Interpretation)
+		}
+		fmt.Println("\nrepresentative scenarios:")
+		for _, rep := range an.Representatives {
+			sc, err := set.Get(rep.ScenarioID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  cluster %-2d (weight %4.1f%%): %s\n", rep.Cluster, 100*rep.Weight, sc.Key())
+		}
+	}
+
+	if *planOut != "" {
+		plan, err := replayer.NewPlan(an, cfg.Machine.Shape)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*planOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plan.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote replay plan to %s\n", *planOut)
+	}
+
+	fmt.Println("\nestimating feature impacts with the representatives (step 4):")
+	for _, feat := range machine.PaperFeatures() {
+		est, err := p.EvaluateFeature(feat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s %-45s MIPS reduction %5.2f%%  (cost: %d replays)\n",
+			feat.Name+":", feat.Description, est.ReductionPct, est.ScenariosReplayed)
+
+		if !*perJob {
+			continue
+		}
+		for _, prof := range cfg.Jobs.HPJobs() {
+			jest, err := p.EvaluateFeatureForJob(feat, prof.Name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("      %-4s %5.2f%%\n", prof.Name, jest.ReductionPct)
+		}
+	}
+	return nil
+}
+
+// estimateFromPlan evaluates the paper features against an exported plan:
+// no profiling, no analysis, just the representative replays.
+func estimateFromPlan(path string, seed int64, perJob bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	plan, err := replayer.ReadPlanJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded plan: %d representatives on shape %q\n", len(plan.Clusters), plan.MachineShape)
+
+	cfg := core.DefaultConfig()
+	if plan.MachineShape == machine.SmallShape().Name {
+		cfg.Machine = machine.BaselineConfig(machine.SmallShape())
+	}
+	inh, err := perfscore.NewInherent(cfg.Machine, cfg.Jobs)
+	if err != nil {
+		return err
+	}
+	ropts := replayer.DefaultOptions()
+	ropts.Seed = seed
+	for _, feat := range machine.PaperFeatures() {
+		est, err := replayer.EstimateFromPlan(plan, cfg.Jobs, inh, cfg.Machine, feat, ropts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s %-45s MIPS reduction %5.2f%%  (cost: %d replays)\n",
+			feat.Name+":", feat.Description, est.ReductionPct, est.ScenariosReplayed)
+		if !perJob {
+			continue
+		}
+		for _, prof := range cfg.Jobs.HPJobs() {
+			jest, err := replayer.EstimatePerJobFromPlan(plan, cfg.Jobs, inh, cfg.Machine, feat, prof.Name, ropts)
+			if err != nil {
+				fmt.Printf("      %-4s (no coverage: %v)\n", prof.Name, err)
+				continue
+			}
+			fmt.Printf("      %-4s %5.2f%%\n", prof.Name, jest.ReductionPct)
+		}
+	}
+	return nil
+}
+
+func loadScenarios(path, traceCSV string, days int, seed int64) (*scenario.Set, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return scenario.ReadJSON(f)
+	}
+	if traceCSV != "" {
+		f, err := os.Open(traceCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		events, err := clustertrace.ParseCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		set, _, err := clustertrace.Replay(events, 0)
+		return set, err
+	}
+	cfg := dcsim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = time.Duration(days) * 24 * time.Hour
+	fmt.Printf("simulating %d days of datacenter operation...\n", days)
+	trace, err := dcsim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Scenarios, nil
+}

@@ -1,0 +1,131 @@
+// Cache-sizing study: reproduces the paper's motivating case (Sec 3.1 and
+// Feature 1) end to end.
+//
+// It first shows the pitfall: estimating the impact of shrinking the LLC
+// (30MB -> 12MB per socket) with conventional colocation-unaware
+// load-testing benchmarks disagrees with the in-datacenter truth. It then
+// runs FLARE and shows the representative-based estimate landing on the
+// truth at a fraction of the cost, including the per-cluster breakdown
+// that explains *why* the feature costs what it costs.
+//
+//	go run ./examples/cache_sizing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/evaluate"
+	"flare/internal/machine"
+	"flare/internal/perfscore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cache_sizing: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	feature := machine.CacheSizing(12)
+	fmt.Printf("feature under evaluation: %s\n\n", feature.Description)
+
+	// Collect the scenario population.
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Duration = 21 * 24 * time.Hour
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	inh, err := perfscore.NewInherent(cfg.Machine, cfg.Jobs)
+	if err != nil {
+		return err
+	}
+	ev, err := evaluate.New(cfg.Machine, cfg.Jobs, inh, trace.Scenarios)
+	if err != nil {
+		return err
+	}
+
+	// --- Part 1: the load-testing pitfall (paper Fig 2) -----------------
+	fmt.Println("part 1: conventional load-testing vs the datacenter")
+	fmt.Printf("  %-4s  %12s  %12s\n", "job", "load-testing", "datacenter")
+	for _, p := range cfg.Jobs.HPJobs() {
+		lt, err := ev.LoadTesting(feature, p.Name)
+		if err != nil {
+			return err
+		}
+		truth, _, err := ev.PerJobTruth(feature, p.Name)
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if diff := lt - truth; diff > 2 || diff < -2 {
+			marker = "  <-- misestimated"
+		}
+		fmt.Printf("  %-4s  %11.2f%%  %11.2f%%%s\n", p.Name, lt, truth, marker)
+	}
+	fmt.Println("  load testing ignores interference from co-located jobs (Sec 3.1)")
+
+	// --- Part 2: FLARE --------------------------------------------------
+	fmt.Println("\npart 2: FLARE with representative scenarios")
+	pipeline, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := pipeline.Profile(trace.Scenarios); err != nil {
+		return err
+	}
+	if err := pipeline.Analyze(); err != nil {
+		return err
+	}
+	est, err := pipeline.EvaluateFeature(feature)
+	if err != nil {
+		return err
+	}
+	full, err := ev.FullDatacenter(feature)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("  datacenter ground truth: %.2f%% MIPS reduction (%d scenario evaluations)\n",
+		full.MeanReductionPct, full.Cost)
+	fmt.Printf("  FLARE estimate:          %.2f%% MIPS reduction (%d scenario replays)\n",
+		est.ReductionPct, est.ScenariosReplayed)
+	fmt.Printf("  absolute error %.2f points at %.0fx lower cost\n",
+		absDiff(est.ReductionPct, full.MeanReductionPct),
+		float64(full.Cost)/float64(est.ScenariosReplayed))
+
+	// --- Part 3: reasoning from the clusters (paper Sec 5.2) ------------
+	fmt.Println("\npart 3: which behaviours drive the impact")
+	worst := est.PerCluster[0]
+	for _, ci := range est.PerCluster {
+		if ci.ReductionPct > worst.ReductionPct {
+			worst = ci
+		}
+	}
+	sc, err := trace.Scenarios.Get(worst.ScenarioID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  most cache-sensitive cluster: %d (%.2f%% reduction, weight %.1f%%)\n",
+		worst.Cluster, worst.ReductionPct, 100*worst.Weight)
+	fmt.Printf("  its representative colocation: %s\n", sc.Key())
+	for _, lbl := range pipeline.Analysis().Labels {
+		fmt.Printf("  PC%-2d: %s\n", lbl.Index, lbl.Interpretation)
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

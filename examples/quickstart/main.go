@@ -1,0 +1,62 @@
+// Quickstart: the minimal FLARE workflow.
+//
+// Simulate a small datacenter trace, extract representative colocation
+// scenarios, and estimate how halving the last-level cache would affect
+// the datacenter's High Priority jobs — without evaluating the whole
+// scenario population.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// 1. Obtain a scenario population. In production this comes from the
+	//    Profiler daemons watching real machines; here a 14-day simulated
+	//    trace stands in.
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Duration = 14 * 24 * time.Hour
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %d distinct job colocations\n", trace.Scenarios.Len())
+
+	// 2. Build the pipeline and run steps 1-3: profile, construct
+	//    high-level metrics, cluster, extract representatives.
+	pipeline, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Profile(trace.Scenarios); err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Analyze(); err != nil {
+		log.Fatal(err)
+	}
+	reps := pipeline.Representatives()
+	fmt.Printf("summarised them into %d representative scenarios\n", len(reps))
+
+	// 3. Step 4: estimate a feature's impact by replaying only the
+	//    representatives.
+	feature := machine.CacheSizing(12) // 30MB -> 12MB LLC per socket
+	est, err := pipeline.EvaluateFeature(feature)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", feature.Description)
+	fmt.Printf("estimated HP MIPS reduction: %.2f%%\n", est.ReductionPct)
+	fmt.Printf("evaluation cost: %d scenario replays (vs %d for a full evaluation)\n",
+		est.ScenariosReplayed, trace.Scenarios.Len())
+}

@@ -1,0 +1,3 @@
+module flare
+
+go 1.22

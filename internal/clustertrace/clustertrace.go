@@ -1,0 +1,218 @@
+// Package clustertrace reads and writes task-event logs in the style of
+// the public Google cluster traces (Reiss et al.; the datasets the paper
+// cites for colocation diversity), and replays them into FLARE's
+// scenario population. This is the bridge for running the pipeline on a
+// real datacenter's trace instead of the built-in simulator:
+//
+//	events, _ := clustertrace.ParseCSV(file)
+//	set, perMachine, _ := clustertrace.Replay(events, machines)
+//	pipeline.Profile(set)
+//
+// The CSV schema is one event per line:
+//
+//	timestamp_us,machine,job,event,count
+//
+// with event one of SCHEDULE, EVICT, or FINISH (EVICT and FINISH both
+// remove instances). Lines starting with '#' are comments.
+package clustertrace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flare/internal/scenario"
+)
+
+// EventType discriminates task events.
+type EventType int
+
+// Event types.
+const (
+	Schedule EventType = iota + 1 // instances placed on the machine
+	Evict                         // instances removed by the scheduler
+	Finish                        // instances completed
+)
+
+// String returns the trace-format keyword.
+func (t EventType) String() string {
+	switch t {
+	case Schedule:
+		return "SCHEDULE"
+	case Evict:
+		return "EVICT"
+	case Finish:
+		return "FINISH"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// parseEventType inverts String.
+func parseEventType(s string) (EventType, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SCHEDULE":
+		return Schedule, nil
+	case "EVICT":
+		return Evict, nil
+	case "FINISH":
+		return Finish, nil
+	default:
+		return 0, fmt.Errorf("clustertrace: unknown event type %q", s)
+	}
+}
+
+// Event is one task event.
+type Event struct {
+	TimestampUs int64
+	Machine     int
+	Job         string
+	Type        EventType
+	Count       int
+}
+
+// ParseCSV reads an event log. Events are returned in file order;
+// Replay sorts by timestamp itself.
+func ParseCSV(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("clustertrace: line %d: %d fields, want 5", line, len(fields))
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("clustertrace: line %d: bad timestamp: %w", line, err)
+		}
+		mach, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("clustertrace: line %d: bad machine: %w", line, err)
+		}
+		job := strings.TrimSpace(fields[2])
+		if job == "" {
+			return nil, fmt.Errorf("clustertrace: line %d: empty job", line)
+		}
+		typ, err := parseEventType(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("clustertrace: line %d: %w", line, err)
+		}
+		count, err := strconv.Atoi(strings.TrimSpace(fields[4]))
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("clustertrace: line %d: bad count %q", line, fields[4])
+		}
+		out = append(out, Event{TimestampUs: ts, Machine: mach, Job: job, Type: typ, Count: count})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("clustertrace: reading: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("clustertrace: no events")
+	}
+	return out, nil
+}
+
+// WriteCSV emits an event log readable by ParseCSV.
+func WriteCSV(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# timestamp_us,machine,job,event,count"); err != nil {
+		return fmt.Errorf("clustertrace: writing: %w", err)
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s,%s,%d\n",
+			e.TimestampUs, e.Machine, e.Job, e.Type, e.Count); err != nil {
+			return fmt.Errorf("clustertrace: writing: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("clustertrace: writing: %w", err)
+	}
+	return nil
+}
+
+// Replay walks the event log in timestamp order and records every
+// distinct per-machine colocation into a scenario population, plus the
+// per-machine attribution used by canary evaluation. machines bounds the
+// machine index space; pass 0 to infer it from the events.
+func Replay(events []Event, machines int) (*scenario.Set, [][]int, error) {
+	if len(events) == 0 {
+		return nil, nil, errors.New("clustertrace: no events")
+	}
+	maxMachine := 0
+	for _, e := range events {
+		if e.Machine < 0 {
+			return nil, nil, fmt.Errorf("clustertrace: negative machine %d", e.Machine)
+		}
+		if e.Machine > maxMachine {
+			maxMachine = e.Machine
+		}
+	}
+	if machines <= 0 {
+		machines = maxMachine + 1
+	}
+	if maxMachine >= machines {
+		return nil, nil, fmt.Errorf("clustertrace: event references machine %d, trace has %d", maxMachine, machines)
+	}
+
+	ordered := make([]Event, len(events))
+	copy(ordered, events)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].TimestampUs < ordered[j].TimestampUs
+	})
+
+	set := scenario.NewSet()
+	perMachine := make([][]int, machines)
+	seenOn := make([]map[int]bool, machines)
+	state := make([]map[string]int, machines)
+	for i := range state {
+		state[i] = make(map[string]int)
+		seenOn[i] = make(map[int]bool)
+	}
+
+	for _, e := range ordered {
+		jobs := state[e.Machine]
+		switch e.Type {
+		case Schedule:
+			jobs[e.Job] += e.Count
+		case Evict, Finish:
+			if jobs[e.Job] < e.Count {
+				return nil, nil, fmt.Errorf("clustertrace: machine %d: removing %d of %s, only %d resident",
+					e.Machine, e.Count, e.Job, jobs[e.Job])
+			}
+			jobs[e.Job] -= e.Count
+			if jobs[e.Job] == 0 {
+				delete(jobs, e.Job)
+			}
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		placements := make([]scenario.Placement, 0, len(jobs))
+		for job, n := range jobs {
+			placements = append(placements, scenario.Placement{Job: job, Instances: n})
+		}
+		sc, err := scenario.New(placements)
+		if err != nil {
+			return nil, nil, fmt.Errorf("clustertrace: %w", err)
+		}
+		id := set.Add(sc)
+		if !seenOn[e.Machine][id] {
+			seenOn[e.Machine][id] = true
+			perMachine[e.Machine] = append(perMachine[e.Machine], id)
+		}
+	}
+	if set.Len() == 0 {
+		return nil, nil, errors.New("clustertrace: trace never produced a non-empty colocation")
+	}
+	return set, perMachine, nil
+}

@@ -1,0 +1,246 @@
+package clustertrace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flare/internal/workload"
+)
+
+const sampleLog = `# timestamp_us,machine,job,event,count
+1000,0,DC,SCHEDULE,2
+2000,0,mcf,SCHEDULE,1
+3000,1,DA,SCHEDULE,3
+4000,0,DC,FINISH,1
+5000,0,mcf,EVICT,1
+6000,1,DA,FINISH,3
+`
+
+func TestParseCSV(t *testing.T) {
+	events, err := ParseCSV(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(events))
+	}
+	if events[0] != (Event{TimestampUs: 1000, Machine: 0, Job: "DC", Type: Schedule, Count: 2}) {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if events[4].Type != Evict {
+		t.Errorf("event 4 type = %v, want Evict", events[4].Type)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"empty", ""},
+		{"short-line", "1000,0,DC,SCHEDULE"},
+		{"bad-timestamp", "x,0,DC,SCHEDULE,1"},
+		{"bad-machine", "1,x,DC,SCHEDULE,1"},
+		{"empty-job", "1,0,,SCHEDULE,1"},
+		{"bad-event", "1,0,DC,TELEPORT,1"},
+		{"bad-count", "1,0,DC,SCHEDULE,0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCSV(strings.NewReader(tt.input)); err == nil {
+				t.Error("invalid input did not error")
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := ParseCSV(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip changed event count: %d -> %d", len(orig), len(back))
+	}
+	for i := range orig {
+		if orig[i] != back[i] {
+			t.Errorf("event %d changed: %+v -> %+v", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestReplayBuildsPopulation(t *testing.T) {
+	events, err := ParseCSV(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, perMachine, err := Replay(events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected distinct colocations: {DC:2}, {DC:2,mcf:1}, {DA:3},
+	// {DC:1,mcf:1}, {DC:1}.
+	wantKeys := map[string]bool{
+		"DC:2": true, "DC:2,mcf:1": true, "DA:3": true, "DC:1,mcf:1": true, "DC:1": true,
+	}
+	if set.Len() != len(wantKeys) {
+		t.Fatalf("population has %d scenarios, want %d", set.Len(), len(wantKeys))
+	}
+	for _, sc := range set.All() {
+		if !wantKeys[sc.Key()] {
+			t.Errorf("unexpected scenario %s", sc.Key())
+		}
+	}
+	if len(perMachine) != 2 {
+		t.Fatalf("perMachine has %d machines, want 2", len(perMachine))
+	}
+	if len(perMachine[0]) != 4 || len(perMachine[1]) != 1 {
+		t.Errorf("attribution = %d/%d scenarios, want 4/1", len(perMachine[0]), len(perMachine[1]))
+	}
+}
+
+func TestReplayUnderflowErrors(t *testing.T) {
+	events := []Event{
+		{TimestampUs: 1, Machine: 0, Job: "DC", Type: Schedule, Count: 1},
+		{TimestampUs: 2, Machine: 0, Job: "DC", Type: Finish, Count: 2},
+	}
+	if _, _, err := Replay(events, 1); err == nil {
+		t.Error("removal underflow did not error")
+	}
+}
+
+func TestReplayMachineBounds(t *testing.T) {
+	events := []Event{{TimestampUs: 1, Machine: 5, Job: "DC", Type: Schedule, Count: 1}}
+	if _, _, err := Replay(events, 2); err == nil {
+		t.Error("out-of-range machine did not error")
+	}
+	if _, _, err := Replay(nil, 2); err == nil {
+		t.Error("empty events did not error")
+	}
+	events[0].Machine = -1
+	if _, _, err := Replay(events, 2); err == nil {
+		t.Error("negative machine did not error")
+	}
+}
+
+func TestReplaySortsByTimestamp(t *testing.T) {
+	// Out-of-order input must replay identically to sorted input.
+	events := []Event{
+		{TimestampUs: 30, Machine: 0, Job: "DC", Type: Finish, Count: 1},
+		{TimestampUs: 10, Machine: 0, Job: "DC", Type: Schedule, Count: 2},
+		{TimestampUs: 20, Machine: 0, Job: "DA", Type: Schedule, Count: 1},
+	}
+	set, _, err := Replay(events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Errorf("population = %d scenarios, want 3", set.Len())
+	}
+}
+
+// synthesise builds a random but always-consistent event log.
+func synthesise(r *rand.Rand, machines, steps int) []Event {
+	jobs := []string{workload.DataCaching, workload.DataAnalytics, workload.Mcf, workload.WebSearch}
+	resident := make([]map[string]int, machines)
+	for i := range resident {
+		resident[i] = make(map[string]int)
+	}
+	var out []Event
+	ts := int64(0)
+	for s := 0; s < steps; s++ {
+		ts += int64(1 + r.Intn(1000))
+		m := r.Intn(machines)
+		job := jobs[r.Intn(len(jobs))]
+		if r.Float64() < 0.6 || resident[m][job] == 0 {
+			n := 1 + r.Intn(3)
+			resident[m][job] += n
+			out = append(out, Event{TimestampUs: ts, Machine: m, Job: job, Type: Schedule, Count: n})
+		} else {
+			n := 1 + r.Intn(resident[m][job])
+			resident[m][job] -= n
+			typ := Finish
+			if r.Float64() < 0.3 {
+				typ = Evict
+			}
+			out = append(out, Event{TimestampUs: ts, Machine: m, Job: job, Type: typ, Count: n})
+		}
+	}
+	return out
+}
+
+func TestReplayPropertyConsistentLogsAlwaysReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		events := synthesise(r, 1+r.Intn(4), 20+r.Intn(80))
+		set, perMachine, err := Replay(events, 0)
+		if err != nil {
+			return false
+		}
+		// Every attributed scenario ID must exist.
+		for _, ids := range perMachine {
+			for _, id := range ids {
+				if _, err := set.Get(id); err != nil {
+					return false
+				}
+			}
+		}
+		return set.Len() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripPropertySamePopulation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		events := synthesise(r, 2, 50)
+		setA, _, err := Replay(events, 0)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, events); err != nil {
+			return false
+		}
+		parsed, err := ParseCSV(&buf)
+		if err != nil {
+			return false
+		}
+		setB, _, err := Replay(parsed, 0)
+		if err != nil {
+			return false
+		}
+		if setA.Len() != setB.Len() {
+			return false
+		}
+		for i := 0; i < setA.Len(); i++ {
+			a, _ := setA.Get(i)
+			b, _ := setB.Get(i)
+			if a.Key() != b.Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if Schedule.String() != "SCHEDULE" || Evict.String() != "EVICT" || Finish.String() != "FINISH" {
+		t.Error("EventType.String wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package clustertrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV asserts the parser never panics and that anything it
+// accepts survives a write/parse round trip.
+func FuzzParseCSV(f *testing.F) {
+	f.Add(sampleLog)
+	f.Add("1000,0,DC,SCHEDULE,2\n")
+	f.Add("# comment only\n")
+	f.Add("1,0,DC,EVICT,1\n2,0,DC,SCHEDULE,1\n")
+	f.Add("garbage")
+	f.Add("1,0,DC,SCHEDULE,2,extra")
+	f.Add(",,,,\n")
+	f.Add("-5,-3,x,FINISH,-1")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ParseCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, events); err != nil {
+			t.Fatalf("accepted events failed to serialise: %v", err)
+		}
+		back, err := ParseCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialised events failed to re-parse: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count %d -> %d", len(events), len(back))
+		}
+		for i := range events {
+			if events[i] != back[i] {
+				t.Fatalf("event %d changed in round trip: %+v -> %+v", i, events[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzReplay asserts Replay never panics on arbitrary (possibly
+// inconsistent) event sequences.
+func FuzzReplay(f *testing.F) {
+	f.Add(int64(1), 0, "DC", 1, 2)
+	f.Add(int64(5), 2, "mcf", 2, 1)
+	f.Add(int64(-1), -4, "", 99, -7)
+
+	f.Fuzz(func(t *testing.T, ts int64, machineID int, job string, typ, count int) {
+		events := []Event{{
+			TimestampUs: ts,
+			Machine:     machineID,
+			Job:         job,
+			Type:        EventType(typ),
+			Count:       count,
+		}}
+		set, perMachine, err := Replay(events, 0)
+		if err != nil {
+			return
+		}
+		if set.Len() == 0 {
+			t.Fatal("Replay returned success with an empty population")
+		}
+		for _, ids := range perMachine {
+			for _, id := range ids {
+				if _, err := set.Get(id); err != nil {
+					t.Fatalf("attributed scenario %d missing: %v", id, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package core is FLARE's public API: a Pipeline that wires the Profiler,
+// Analyzer, and Replayer together (paper Fig 4) so a user can go from a
+// scenario population to feature-impact estimates in three calls:
+//
+//	p, _ := core.New(core.DefaultConfig())
+//	_ = p.Profile(scenarios)       // step 1: collect & refine metrics
+//	_ = p.Analyze()                // steps 2-3: PCs, clusters, representatives
+//	est, _ := p.EvaluateFeature(machine.CacheSizing(12)) // step 4: replay
+//
+// The pipeline is deterministic given its seeds and safe to reuse across
+// features (profiling and analysis are done once; only replay repeats).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/analyzer"
+	"flare/internal/machine"
+	"flare/internal/metrics"
+	"flare/internal/perfscore"
+	"flare/internal/profiler"
+	"flare/internal/replayer"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+// Config assembles the pipeline's components and options.
+type Config struct {
+	// Machine is the baseline configuration scenarios are measured on.
+	Machine machine.Config
+	// Jobs is the workload catalog scenarios reference.
+	Jobs *workload.Catalog
+	// Metrics is the raw metric catalog the Profiler collects.
+	Metrics *metrics.Catalog
+
+	Profile profiler.Options
+	Analyze analyzer.Options
+	Replay  replayer.Options
+}
+
+// DefaultConfig returns the paper's setup: the Table 2 machine, Table 3
+// jobs, the Fig 6 metric catalog, and default options throughout.
+func DefaultConfig() Config {
+	return Config{
+		Machine: machine.BaselineConfig(machine.DefaultShape()),
+		Jobs:    workload.DefaultCatalog(),
+		Metrics: metrics.DefaultCatalog(),
+		Profile: profiler.DefaultOptions(),
+		Analyze: analyzer.DefaultOptions(),
+		Replay:  replayer.DefaultOptions(),
+	}
+}
+
+// Pipeline is a configured FLARE instance. Create with New; methods must
+// be called in order Profile -> Analyze -> Evaluate*.
+type Pipeline struct {
+	cfg Config
+
+	inherent *perfscore.Inherent
+	dataset  *profiler.Dataset
+	analysis *analyzer.Analysis
+}
+
+// New validates the configuration and prepares the pipeline (including
+// measuring every job's inherent MIPS on the baseline machine, the
+// denominator of the performance metric).
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Jobs == nil || cfg.Jobs.Len() == 0 {
+		return nil, errors.New("core: empty job catalog")
+	}
+	if cfg.Metrics == nil || cfg.Metrics.Len() == 0 {
+		return nil, errors.New("core: empty metric catalog")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	inh, err := perfscore.NewInherent(cfg.Machine, cfg.Jobs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Pipeline{cfg: cfg, inherent: inh}, nil
+}
+
+// Profile runs FLARE step 1: measure every scenario in the population on
+// the baseline machine and build the raw metric matrix.
+func (p *Pipeline) Profile(set *scenario.Set) error {
+	ds, err := profiler.Collect(p.cfg.Machine, set, p.cfg.Jobs, p.cfg.Metrics, p.cfg.Profile)
+	if err != nil {
+		return fmt.Errorf("core: profiling: %w", err)
+	}
+	p.dataset = ds
+	p.analysis = nil // invalidate any previous analysis
+	return nil
+}
+
+// Analyze runs FLARE steps 2-3: metric refinement, PCA, clustering, and
+// representative extraction. Profile must have been called.
+func (p *Pipeline) Analyze() error {
+	if p.dataset == nil {
+		return errors.New("core: Analyze called before Profile")
+	}
+	an, err := analyzer.Analyze(p.dataset, p.cfg.Analyze)
+	if err != nil {
+		return fmt.Errorf("core: analysis: %w", err)
+	}
+	p.analysis = an
+	return nil
+}
+
+// EvaluateFeature runs FLARE step 4 for one feature: replay the
+// representatives under baseline and feature configurations and return
+// the weighted impact estimate. Analyze must have been called.
+func (p *Pipeline) EvaluateFeature(feat machine.Feature) (*replayer.Estimate, error) {
+	if p.analysis == nil {
+		return nil, errors.New("core: EvaluateFeature called before Analyze")
+	}
+	est, err := replayer.EstimateAllJob(p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, p.cfg.Replay)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return est, nil
+}
+
+// EvaluateFeatureForJob estimates a feature's impact on one HP job,
+// using the per-job fallback and instance weighting of Sec 5.3.
+func (p *Pipeline) EvaluateFeatureForJob(feat machine.Feature, job string) (*replayer.JobEstimate, error) {
+	if p.analysis == nil {
+		return nil, errors.New("core: EvaluateFeatureForJob called before Analyze")
+	}
+	est, err := replayer.EstimatePerJob(p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, job, p.cfg.Replay)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return est, nil
+}
+
+// Dataset returns the profiled dataset (nil before Profile).
+func (p *Pipeline) Dataset() *profiler.Dataset { return p.dataset }
+
+// Analysis returns the analysis (nil before Analyze).
+func (p *Pipeline) Analysis() *analyzer.Analysis { return p.analysis }
+
+// Inherent returns the inherent-MIPS table measured at construction.
+func (p *Pipeline) Inherent() *perfscore.Inherent { return p.inherent }
+
+// Machine returns the pipeline's baseline machine configuration.
+func (p *Pipeline) Machine() machine.Config { return p.cfg.Machine }
+
+// Jobs returns the pipeline's workload catalog.
+func (p *Pipeline) Jobs() *workload.Catalog { return p.cfg.Jobs }
+
+// Representatives returns the extracted representatives (nil before
+// Analyze).
+func (p *Pipeline) Representatives() []analyzer.Representative {
+	if p.analysis == nil {
+		return nil
+	}
+	reps := make([]analyzer.Representative, len(p.analysis.Representatives))
+	copy(reps, p.analysis.Representatives)
+	return reps
+}

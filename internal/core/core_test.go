@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+var (
+	setOnce sync.Once
+	setVal  *scenario.Set
+	setErr  error
+)
+
+func testScenarios(t *testing.T) *scenario.Set {
+	t.Helper()
+	setOnce.Do(func() {
+		cfg := dcsim.DefaultConfig()
+		cfg.Duration = 10 * 24 * time.Hour
+		cfg.ResizesPerJobPerDay = 3
+		var trace *dcsim.Trace
+		trace, setErr = dcsim.Run(cfg)
+		if setErr == nil {
+			setVal = trace.Scenarios
+		}
+	})
+	if setErr != nil {
+		t.Fatal(setErr)
+	}
+	return setVal
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jobs = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil job catalog did not error")
+	}
+
+	cfg = DefaultConfig()
+	cfg.Metrics = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil metric catalog did not error")
+	}
+
+	cfg = DefaultConfig()
+	cfg.Machine.LLCMB = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid machine did not error")
+	}
+}
+
+func TestPipelineOrderEnforced(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err == nil {
+		t.Error("Analyze before Profile did not error")
+	}
+	if _, err := p.EvaluateFeature(machine.Baseline()); err == nil {
+		t.Error("EvaluateFeature before Analyze did not error")
+	}
+	if _, err := p.EvaluateFeatureForJob(machine.Baseline(), workload.DataCaching); err == nil {
+		t.Error("EvaluateFeatureForJob before Analyze did not error")
+	}
+	if p.Representatives() != nil {
+		t.Error("Representatives non-nil before Analyze")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Analyze.Clusters = 18
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(testScenarios(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	if p.Dataset() == nil || p.Analysis() == nil || p.Inherent() == nil {
+		t.Fatal("accessors nil after full pipeline")
+	}
+	reps := p.Representatives()
+	if len(reps) == 0 {
+		t.Fatal("no representatives")
+	}
+
+	for _, feat := range machine.PaperFeatures() {
+		est, err := p.EvaluateFeature(feat)
+		if err != nil {
+			t.Fatalf("%s: %v", feat.Name, err)
+		}
+		if est.ReductionPct <= 0 || est.ReductionPct > 60 {
+			t.Errorf("%s: estimate %v, want in (0, 60]", feat.Name, est.ReductionPct)
+		}
+		if est.ScenariosReplayed != len(reps) {
+			t.Errorf("%s: replay cost %d, want %d (one per representative)",
+				feat.Name, est.ScenariosReplayed, len(reps))
+		}
+	}
+
+	// Per-job estimation for a job present in the trace.
+	jest, err := p.EvaluateFeatureForJob(machine.DVFSCap(1.8), workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jest.ReductionPct <= 0 {
+		t.Errorf("per-job estimate %v, want positive", jest.ReductionPct)
+	}
+}
+
+func TestProfileInvalidatesAnalysis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Analyze.Clusters = 6
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testScenarios(t)
+	if err := p.Profile(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(set); err != nil {
+		t.Fatal(err)
+	}
+	if p.Analysis() != nil {
+		t.Error("re-profiling did not invalidate the previous analysis")
+	}
+}
+
+func TestDefaultConfigIsPaperSetup(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Machine.Shape.Name != "default" {
+		t.Errorf("machine shape = %s, want default (Table 2)", cfg.Machine.Shape.Name)
+	}
+	if cfg.Jobs.Len() != 14 {
+		t.Errorf("job catalog size = %d, want 14 (Table 3)", cfg.Jobs.Len())
+	}
+	if cfg.Metrics.Len() < 100 {
+		t.Errorf("metric catalog size = %d, want 100+ (Fig 6)", cfg.Metrics.Len())
+	}
+}

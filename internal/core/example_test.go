@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+)
+
+// Example runs the complete FLARE workflow: collect a scenario
+// population, extract representatives, and estimate a feature's impact.
+func Example() {
+	// A small simulated trace stands in for production profiler data.
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Duration = 7 * 24 * time.Hour
+	simCfg.ResizesPerJobPerDay = 4
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Analyze.Clusters = 10
+	pipeline, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Profile(trace.Scenarios); err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Analyze(); err != nil {
+		log.Fatal(err)
+	}
+
+	est, err := pipeline.EvaluateFeature(machine.CacheSizing(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replays: %d of %d scenarios\n", est.ScenariosReplayed, trace.Scenarios.Len())
+	fmt.Printf("impact positive: %v\n", est.ReductionPct > 0)
+	// Output:
+	// replays: 10 of 606 scenarios
+	// impact positive: true
+}

@@ -1,0 +1,35 @@
+package dcsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRunPaperTrace measures generating the paper-scale 28-day
+// scenario population.
+func BenchmarkRunPaperTrace(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(trace.Scenarios.Len()), "scenarios")
+	}
+}
+
+// BenchmarkRunWeekTrace measures a quick one-week trace.
+func BenchmarkRunWeekTrace(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Duration = 7 * 24 * time.Hour
+	cfg.ResizesPerJobPerDay = 6
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

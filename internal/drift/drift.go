@@ -1,0 +1,181 @@
+// Package drift detects when a datacenter's behaviour has moved away
+// from the population its representative scenarios were extracted from —
+// the operational question behind the paper's Sec 5.5/5.6 discussions
+// (machine-shape changes and scheduler changes invalidate
+// representatives).
+//
+// The detector projects newly observed scenarios through the *frozen*
+// Analyzer transforms (refinement, PCA, whitening) and measures each
+// one's distance to the nearest cluster centroid. If new scenarios land
+// beyond the training population's distance quantile much more often
+// than the training data did, the representatives are stale and steps
+// 3-4 should be re-run.
+package drift
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flare/internal/analyzer"
+	"flare/internal/linalg"
+	"flare/internal/mathx"
+	"flare/internal/stats"
+)
+
+// DefaultQuantile is the training-distance quantile used as the novelty
+// threshold.
+const DefaultQuantile = 0.95
+
+// Detector scores new scenarios against a frozen analysis.
+type Detector struct {
+	analysis  *analyzer.Analysis
+	threshold float64 // novelty distance (training quantile)
+	quantile  float64
+}
+
+// NewDetector builds a detector from a completed analysis, calibrating
+// the novelty threshold on the training population's own distances.
+func NewDetector(an *analyzer.Analysis, quantile float64) (*Detector, error) {
+	if an == nil || an.Clustering == nil {
+		return nil, errors.New("drift: analysis incomplete")
+	}
+	if an.AugmentedCols > 0 {
+		return nil, errors.New("drift: analyses with per-job augmented columns cannot score raw catalog vectors")
+	}
+	if quantile <= 0 || quantile >= 1 {
+		return nil, fmt.Errorf("drift: quantile %v outside (0, 1)", quantile)
+	}
+	training := make([]float64, an.Scores.Rows())
+	for i := range training {
+		training[i] = nearestCentroidDistance(an, an.Scores.Row(i))
+	}
+	thr, err := stats.Quantile(training, quantile)
+	if err != nil {
+		return nil, fmt.Errorf("drift: %w", err)
+	}
+	return &Detector{analysis: an, threshold: thr, quantile: quantile}, nil
+}
+
+// Threshold returns the calibrated novelty distance.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// Calibrate re-derives the novelty threshold from a held-out raw metric
+// matrix (catalog order). Training-set calibration is optimistically
+// biased — the centroids were fit to minimise exactly those distances —
+// so production deployments should calibrate on a trace window not used
+// for clustering.
+func (d *Detector) Calibrate(matrix *linalg.Matrix) error {
+	if matrix == nil || matrix.Rows() == 0 {
+		return errors.New("drift: empty calibration matrix")
+	}
+	dists := make([]float64, matrix.Rows())
+	for i := range dists {
+		score, err := d.Score(matrix.Row(i))
+		if err != nil {
+			return err
+		}
+		dists[i] = score
+	}
+	thr, err := stats.Quantile(dists, d.quantile)
+	if err != nil {
+		return fmt.Errorf("drift: %w", err)
+	}
+	d.threshold = thr
+	return nil
+}
+
+// Score projects one raw metric vector (catalog order, as produced by the
+// profiler) into the analysis' cluster space and returns its distance to
+// the nearest centroid. Larger than Threshold() means the scenario is
+// unlike anything the representatives cover.
+func (d *Detector) Score(raw []float64) (float64, error) {
+	an := d.analysis
+	if len(raw) != an.Dataset.Catalog.Len() {
+		return 0, fmt.Errorf("drift: vector has %d metrics, catalog has %d", len(raw), an.Dataset.Catalog.Len())
+	}
+	// Refinement projection.
+	refined := raw
+	if an.Refined != nil {
+		refined = make([]float64, len(an.Refined.Kept))
+		for i, j := range an.Refined.Kept {
+			refined[i] = raw[j]
+		}
+	}
+	// PCA + whitening.
+	m, err := linalg.FromRows([][]float64{refined})
+	if err != nil {
+		return 0, fmt.Errorf("drift: %w", err)
+	}
+	scores, err := an.PCA.Transform(m)
+	if err != nil {
+		return 0, fmt.Errorf("drift: %w", err)
+	}
+	point := scores.Row(0)
+	for j := range point {
+		if an.WhitenScales[j] > 1e-12 {
+			point[j] /= an.WhitenScales[j]
+		}
+	}
+	return nearestCentroidDistance(an, point), nil
+}
+
+// Report summarises a batch assessment.
+type Report struct {
+	Scenarios     int     // new scenarios assessed
+	NovelCount    int     // scenarios beyond the threshold
+	NovelFraction float64 // NovelCount / Scenarios
+	// ExpectedNovel is the fraction the threshold would flag on data from
+	// the training distribution (1 - quantile).
+	ExpectedNovel float64
+	// Drifted is set when the novel fraction exceeds the expected one by
+	// more than 3x binomial noise.
+	Drifted             bool
+	MeanScore, MaxScore float64
+}
+
+// Assess scores every row of a raw metric matrix (catalog order) and
+// reports whether the population has drifted.
+func (d *Detector) Assess(matrix *linalg.Matrix) (*Report, error) {
+	if matrix == nil || matrix.Rows() == 0 {
+		return nil, errors.New("drift: empty assessment matrix")
+	}
+	rep := &Report{
+		Scenarios:     matrix.Rows(),
+		ExpectedNovel: 1 - d.quantile,
+	}
+	for i := 0; i < matrix.Rows(); i++ {
+		score, err := d.Score(matrix.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		rep.MeanScore += score
+		if score > rep.MaxScore {
+			rep.MaxScore = score
+		}
+		if score > d.threshold {
+			rep.NovelCount++
+		}
+	}
+	rep.MeanScore /= float64(rep.Scenarios)
+	rep.NovelFraction = float64(rep.NovelCount) / float64(rep.Scenarios)
+
+	// Binomial noise band around the expected novelty rate.
+	n := float64(rep.Scenarios)
+	sigma := math.Sqrt(rep.ExpectedNovel * (1 - rep.ExpectedNovel) / n)
+	rep.Drifted = rep.NovelFraction > rep.ExpectedNovel+3*sigma
+	return rep, nil
+}
+
+// nearestCentroidDistance returns the Euclidean distance from point to
+// the closest cluster centroid.
+func nearestCentroidDistance(an *analyzer.Analysis, point []float64) float64 {
+	best := -1.0
+	v := mathx.Vector(point)
+	for _, c := range an.Clustering.Centroids {
+		if d := v.Distance(c); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,91 @@
+package evaluate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"flare/internal/machine"
+	"flare/internal/stats"
+)
+
+// CanaryResult is the estimate distribution of a canary-cluster
+// evaluation (the WSMeter-style approach the paper's introduction
+// discusses): instead of sampling scenarios, the operator dedicates a
+// subset of whole machines to the feature and evaluates every colocation
+// those machines exhibit.
+type CanaryResult struct {
+	Feature   string
+	Machines  int       // canary machines per trial
+	Trials    int       // independent canary selections
+	Estimates []float64 // one estimate per trial
+	MeanCost  float64   // mean scenarios evaluated per trial
+}
+
+// Mean returns the mean estimate across trials.
+func (r *CanaryResult) Mean() float64 { return stats.Mean(r.Estimates) }
+
+// MaxAbsError returns the worst absolute deviation from truth.
+func (r *CanaryResult) MaxAbsError(truth float64) float64 {
+	var worst float64
+	for _, est := range r.Estimates {
+		if d := abs(est - truth); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Canary evaluates the feature on random subsets of `machines` machines:
+// each trial averages the per-scenario impacts of every distinct
+// colocation those machines hosted during the trace. perMachine comes
+// from the trace (dcsim.Trace.PerMachine).
+func (e *Evaluator) Canary(feat machine.Feature, perMachine [][]int, machines, trials int, seed int64) (*CanaryResult, error) {
+	if len(perMachine) == 0 {
+		return nil, errors.New("evaluate: no per-machine attribution")
+	}
+	if machines <= 0 || machines > len(perMachine) {
+		return nil, fmt.Errorf("evaluate: canary size %d outside [1, %d]", machines, len(perMachine))
+	}
+	if trials <= 0 {
+		return nil, errors.New("evaluate: non-positive trial count")
+	}
+	impacts, err := e.scenarioImpacts(feat)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &CanaryResult{
+		Feature:   feat.Name,
+		Machines:  machines,
+		Trials:    trials,
+		Estimates: make([]float64, trials),
+	}
+	var totalCost int
+	for tr := 0; tr < trials; tr++ {
+		perm := rng.Perm(len(perMachine))[:machines]
+		seen := make(map[int]bool)
+		var sum float64
+		var n int
+		for _, m := range perm {
+			for _, id := range perMachine[m] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if id >= len(impacts) {
+					return nil, fmt.Errorf("evaluate: per-machine scenario %d outside population", id)
+				}
+				sum += impacts[id].ReductionPct
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("evaluate: canary trial %d saw no scenarios", tr)
+		}
+		res.Estimates[tr] = sum / float64(n)
+		totalCost += n
+	}
+	res.MeanCost = float64(totalCost) / float64(trials)
+	return res, nil
+}

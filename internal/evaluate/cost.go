@@ -1,0 +1,112 @@
+package evaluate
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/machine"
+	"flare/internal/stats"
+)
+
+// ErrorCurvePoint is one point of the sampling cost/accuracy tradeoff
+// (Fig 13): evaluating n scenarios buys an expected maximum estimation
+// error equal to the 95% confidence half-width of the sample mean, with
+// the finite population correction (sampling is without replacement from
+// the scenario population).
+type ErrorCurvePoint struct {
+	N             int     // scenarios evaluated (the cost)
+	ExpectedError float64 // 95% CI half-width of the estimate, percent points
+}
+
+// SamplingErrorCurve computes the expected maximum error of random
+// sampling for each sample size, from the population standard deviation
+// of per-scenario impacts.
+func (e *Evaluator) SamplingErrorCurve(feat machine.Feature, sizes []int, level float64) ([]ErrorCurvePoint, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("evaluate: no sample sizes")
+	}
+	full, err := e.FullDatacenter(feat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ErrorCurvePoint, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 1 || n > e.set.Len() {
+			return nil, fmt.Errorf("evaluate: sample size %d outside [1, %d]", n, e.set.Len())
+		}
+		ci, err := stats.FinitePopulationCI(full.MeanReductionPct, full.StdReductionPct, n, e.set.Len(), level)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ErrorCurvePoint{N: n, ExpectedError: ci.HalfWidth()})
+	}
+	return out, nil
+}
+
+// CostToMatch returns the smallest sample size whose expected sampling
+// error (95% CI half-width) is at or below targetError, or an error when
+// even evaluating the whole population cannot reach it.
+func (e *Evaluator) CostToMatch(feat machine.Feature, targetError float64) (int, error) {
+	if targetError <= 0 {
+		return 0, errors.New("evaluate: non-positive target error")
+	}
+	full, err := e.FullDatacenter(feat)
+	if err != nil {
+		return 0, err
+	}
+	for n := 1; n <= e.set.Len(); n++ {
+		ci, err := stats.FinitePopulationCI(full.MeanReductionPct, full.StdReductionPct, n, e.set.Len(), 0.95)
+		if err != nil {
+			return 0, err
+		}
+		if ci.HalfWidth() <= targetError {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("evaluate: sampling cannot reach error %v even at full population", targetError)
+}
+
+// CostComparison quantifies the paper's headline overhead reductions
+// (Sec 5.4): FLARE evaluates one scenario per representative; full
+// evaluation replays the whole population; sampling needs CostToMatch
+// scenarios to reach FLARE's observed accuracy.
+type CostComparison struct {
+	Feature           string
+	FLARECost         int     // representatives replayed
+	FullCost          int     // whole population
+	SamplingCost      int     // scenarios sampling needs for FLARE's error
+	FLAREAbsError     float64 // |FLARE estimate - truth|
+	FullOverFLARE     float64 // cost ratio: full / FLARE
+	SamplingOverFLARE float64 // cost ratio: sampling / FLARE
+}
+
+// CompareCosts assembles the comparison for one feature given FLARE's
+// estimate and cost.
+func (e *Evaluator) CompareCosts(feat machine.Feature, flareEstimate float64, flareCost int) (*CostComparison, error) {
+	if flareCost <= 0 {
+		return nil, errors.New("evaluate: non-positive FLARE cost")
+	}
+	full, err := e.FullDatacenter(feat)
+	if err != nil {
+		return nil, err
+	}
+	absErr := abs(flareEstimate - full.MeanReductionPct)
+	target := absErr
+	if target < 0.1 {
+		target = 0.1 // sampling can never hit an exact-zero error bound
+	}
+	samplingCost, err := e.CostToMatch(feat, target)
+	if err != nil {
+		// Sampling cannot match FLARE at all: charge the full population.
+		samplingCost = e.set.Len()
+	}
+	return &CostComparison{
+		Feature:           feat.Name,
+		FLARECost:         flareCost,
+		FullCost:          full.Cost,
+		SamplingCost:      samplingCost,
+		FLAREAbsError:     absErr,
+		FullOverFLARE:     float64(full.Cost) / float64(flareCost),
+		SamplingOverFLARE: float64(samplingCost) / float64(flareCost),
+	}, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"flare/internal/kmeans"
+	"flare/internal/pca"
+	"flare/internal/report"
+)
+
+// Figure6 reproduces the raw metric catalog overview: the collected
+// metrics with their level, source, and unit (the paper's Fig 6 subset
+// listing), plus how many survived refinement.
+func Figure6(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Figure 6: collected performance and resource metrics",
+		"metric", "level", "source", "unit", "kept-after-refinement",
+	)
+	kept := make(map[string]bool, len(env.Analysis.RefinedNames))
+	for _, n := range env.Analysis.RefinedNames {
+		kept[n] = true
+	}
+	for _, d := range env.Metrics.Defs() {
+		t.MustAddRow(d.Name, d.Level.String(), d.Source.String(), d.Unit, boolMark(kept[d.Name]))
+	}
+	t.AddNote("%d raw metrics collected; refinement kept %d (paper: 100+ -> 85)",
+		env.Metrics.Len(), len(env.Analysis.RefinedNames))
+	return t, nil
+}
+
+// Figure7 reproduces the PC-count selection curve: per-component explained
+// variance and the cumulative curve with the 95% cut (paper: 18 PCs).
+func Figure7(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Figure 7: explained variance per principal component",
+		"pc", "explained", "cumulative", "selected",
+	)
+	mod := env.Analysis.PCA
+	cum := mod.CumulativeExplained()
+	limit := mod.NumPC + 10
+	if limit > len(cum) {
+		limit = len(cum)
+	}
+	for k := 0; k < limit; k++ {
+		t.MustAddRow(
+			report.I(k),
+			report.F(mod.Explained[k], 4),
+			report.F(cum[k], 4),
+			boolMark(k < mod.NumPC),
+		)
+	}
+	t.AddNote("selected %d PCs to explain >= 95%% of variance (paper: 18)", mod.NumPC)
+	return t, nil
+}
+
+// Figure8 reproduces the PC interpretation table: each selected PC's
+// strongest positive and negative raw-metric contributors and the
+// synthesised high-level meaning.
+func Figure8(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Figure 8: high-level metrics (principal components) and interpretations",
+		"pc", "explained", "interpretation", "top-positive", "top-negative",
+	)
+	for _, lbl := range env.Analysis.Labels {
+		t.MustAddRow(
+			report.I(lbl.Index),
+			report.F(lbl.Explained, 3),
+			lbl.Interpretation,
+			contribString(lbl.TopPositive, 3),
+			contribString(lbl.TopNegative, 3),
+		)
+	}
+	return t, nil
+}
+
+// Figure9 reproduces the cluster-count investigation: SSE and silhouette
+// score for each candidate k, with the knee selection.
+func Figure9(env *Env) (*report.Table, error) {
+	sweep := env.Analysis.Sweep
+	if sweep == nil {
+		// The environment fixed k (the paper's 18); run the sweep here.
+		var err error
+		sweep, err = kmeansSweep(env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := report.NewTable(
+		"Figure 9: SSE and silhouette score vs cluster count",
+		"k", "sse", "silhouette",
+	)
+	for _, p := range sweep {
+		t.MustAddRow(report.I(p.K), report.F(p.SSE, 1), report.F(p.Silhouette, 4))
+	}
+	knee, err := kmeans.KneeK(sweep, 0.12)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("knee at k = %d; environment uses k = %d (paper: 18)", knee, env.Analysis.Clustering.K)
+	return t, nil
+}
+
+func kmeansSweep(env *Env) ([]kmeans.SweepPoint, error) {
+	maxK := 40
+	if maxK > env.Analysis.Scores.Rows() {
+		maxK = env.Analysis.Scores.Rows()
+	}
+	return kmeans.Sweep(env.Analysis.Scores, 4, maxK, kmeans.Options{
+		Rand: rand.New(rand.NewSource(env.Opts.Seed)),
+	})
+}
+
+// Figure10 reproduces the cluster radar data: every cluster centre's
+// value on each selected PC, plus the cluster's weight (the radar plots
+// of the paper rendered as a grid).
+func Figure10(env *Env) (*report.Table, error) {
+	k := env.Analysis.Clustering.K
+	numPC := env.Analysis.PCA.NumPC
+	cols := make([]string, 0, numPC+2)
+	cols = append(cols, "cluster", "weight-pct")
+	for pc := 0; pc < numPC; pc++ {
+		cols = append(cols, fmt.Sprintf("pc%d", pc))
+	}
+	t := report.NewTable("Figure 10: cluster centres in PC space with weights", cols...)
+
+	weights := make(map[int]float64, len(env.Analysis.Representatives))
+	for _, rep := range env.Analysis.Representatives {
+		weights[rep.Cluster] = rep.Weight
+	}
+	for c := 0; c < k; c++ {
+		centre, err := env.Analysis.ClusterCenterPCs(c)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]string, 0, numPC+2)
+		row = append(row, report.I(c), report.F(100*weights[c], 1))
+		for _, v := range centre {
+			row = append(row, report.F(v, 2))
+		}
+		t.MustAddRow(row...)
+	}
+	t.AddNote("%d clusters over %d scenarios; weights are cluster population shares", k, env.Scenarios().Len())
+	return t, nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func contribString(cs []pca.Contribution, prec int) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%s(%+.*f)", c.Metric, prec, c.Weight)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flare/internal/report"
+)
+
+// ExtensionCanaryComparison adds the canary-cluster methodology the
+// paper's introduction discusses (WSMeter [58]) as a fourth comparator:
+// dedicating k whole machines to the feature and evaluating every
+// colocation they exhibit. The table reports, per feature, the canary's
+// estimate spread and cost next to FLARE's.
+func ExtensionCanaryComparison(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Extension: canary-cluster (WSMeter-style) vs FLARE",
+		"feature", "method", "cost-scenarios", "estimate", "max-abs-err",
+	)
+	const trials = 200
+	perMachine := env.Trace.PerMachine
+	for _, feat := range env.Features {
+		full, err := env.Eval.FullDatacenter(feat)
+		if err != nil {
+			return nil, err
+		}
+		for _, machines := range []int{2, 4} {
+			can, err := env.Eval.Canary(feat, perMachine, machines, trials, env.Opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			t.MustAddRow(feat.Name,
+				fmt.Sprintf("canary-%dm", machines),
+				report.F(can.MeanCost, 0),
+				report.F(can.Mean(), 2),
+				report.F(can.MaxAbsError(full.MeanReductionPct), 2),
+			)
+		}
+		est, err := env.FLAREEstimate(feat)
+		if err != nil {
+			return nil, err
+		}
+		t.MustAddRow(feat.Name, "flare",
+			report.I(est.ScenariosReplayed),
+			report.F(est.ReductionPct, 2),
+			report.F(abs(est.ReductionPct-full.MeanReductionPct), 2),
+		)
+	}
+	t.AddNote("a canary of whole machines evaluates many scenarios (cost) yet its estimate depends on which machines were picked")
+	return t, nil
+}

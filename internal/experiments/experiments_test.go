@@ -1,0 +1,670 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"flare/internal/report"
+)
+
+// quickEnv is a reduced-scale environment shared across the package's
+// tests (a 10-day trace instead of the paper's 28 days keeps each test
+// fast while exercising every experiment path).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(EnvOptions{Seed: 1, TraceDays: 10, Clusters: 18})
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tb *report.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q is not numeric: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestNewEnvPaperScale(t *testing.T) {
+	env := testEnv(t)
+	if env.Scenarios().Len() < 200 {
+		t.Errorf("population = %d, want a few hundred even at 10 days", env.Scenarios().Len())
+	}
+	if got := env.Analysis.Clustering.K; got != 18 {
+		t.Errorf("clusters = %d, want 18", got)
+	}
+	if len(env.Features) != 3 {
+		t.Errorf("features = %d, want 3", len(env.Features))
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Figure 2 has %d rows, want 8 HP jobs", len(tb.Rows))
+	}
+	// The paper's pitfall: at least one job's load-testing estimate
+	// deviates from the datacenter truth by over 2 points.
+	var worst float64
+	for i := range tb.Rows {
+		if d := cell(t, tb, i, 4); d > worst {
+			worst = d
+		}
+	}
+	if worst < 2 {
+		t.Errorf("worst load-testing deviation %v, want the pitfall to be visible (>= 2)", worst)
+	}
+}
+
+func TestFigure3aShape(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure3a(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != env.Scenarios().Len() {
+		t.Fatalf("Figure 3a has %d rows, want one per scenario (%d)", len(tb.Rows), env.Scenarios().Len())
+	}
+	// Occupancy is sorted ascending and spans a wide range.
+	prev := -1.0
+	for i := range tb.Rows {
+		occ := cell(t, tb, i, 5)
+		if occ < prev {
+			t.Fatalf("occupancy not sorted at row %d", i)
+		}
+		prev = occ
+	}
+	if first, last := cell(t, tb, 0, 5), prev; last-first < 0.4 {
+		t.Errorf("occupancy range [%v, %v] too narrow for Fig 3a's diversity", first, last)
+	}
+}
+
+func TestFigure3bWeakCorrelation(t *testing.T) {
+	env := testEnv(t)
+	corr, err := Figure3bCorrelation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: MPKI alone does not predict the impact. The
+	// correlation must be far from perfect.
+	if corr > 0.8 || corr < -0.8 {
+		t.Errorf("impact-MPKI correlation = %v; should be weak/moderate (paper Sec 3.2)", corr)
+	}
+	tb, err := Figure3b(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != env.Scenarios().Len() {
+		t.Errorf("Figure 3b has %d rows, want %d", len(tb.Rows), env.Scenarios().Len())
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != env.Metrics.Len() {
+		t.Errorf("Figure 6 has %d rows, want %d metrics", len(tb.Rows), env.Metrics.Len())
+	}
+	kept := 0
+	for i := range tb.Rows {
+		if tb.Rows[i][4] == "yes" {
+			kept++
+		}
+	}
+	if kept != len(env.Analysis.RefinedNames) {
+		t.Errorf("kept marks = %d, want %d", kept, len(env.Analysis.RefinedNames))
+	}
+}
+
+func TestFigure7Selects95Pct(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numPC := env.Analysis.PCA.NumPC
+	// Cumulative at the last selected PC >= 0.95; at the one before < 0.95.
+	lastSel := cell(t, tb, numPC-1, 2)
+	if lastSel < 0.95 {
+		t.Errorf("cumulative at selected count = %v, want >= 0.95", lastSel)
+	}
+	if numPC >= 2 {
+		if prev := cell(t, tb, numPC-2, 2); prev >= 0.95 {
+			t.Errorf("selection not minimal: cumulative already %v one PC earlier", prev)
+		}
+	}
+}
+
+func TestFigure8MentionsBothLevels(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != env.Analysis.PCA.NumPC {
+		t.Fatalf("Figure 8 rows = %d, want %d", len(tb.Rows), env.Analysis.PCA.NumPC)
+	}
+	// The two-level collection must surface in the interpretations:
+	// both Machine- and HP-level behaviours appear somewhere.
+	joined := ""
+	for i := range tb.Rows {
+		joined += tb.Rows[i][2] + " "
+	}
+	if !strings.Contains(joined, "Machine") || !strings.Contains(joined, "HP") {
+		t.Errorf("PC interpretations never mention both levels:\n%s", joined)
+	}
+}
+
+func TestFigure9SweepQuality(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 20 {
+		t.Fatalf("Figure 9 has %d rows, want a 4..40 sweep", len(tb.Rows))
+	}
+	// SSE roughly decreasing over the sweep.
+	first, last := cell(t, tb, 0, 1), cell(t, tb, len(tb.Rows)-1, 1)
+	if last >= first {
+		t.Errorf("SSE did not decrease over the sweep: %v -> %v", first, last)
+	}
+	// Silhouettes are valid scores.
+	for i := range tb.Rows {
+		s := cell(t, tb, i, 2)
+		if s < -1 || s > 1 {
+			t.Errorf("silhouette out of range at row %d: %v", i, s)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure10(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != env.Analysis.Clustering.K {
+		t.Errorf("Figure 10 rows = %d, want %d clusters", len(tb.Rows), env.Analysis.Clustering.K)
+	}
+	if len(tb.Columns) != env.Analysis.PCA.NumPC+2 {
+		t.Errorf("Figure 10 columns = %d, want %d", len(tb.Columns), env.Analysis.PCA.NumPC+2)
+	}
+	var weightSum float64
+	for i := range tb.Rows {
+		weightSum += cell(t, tb, i, 1)
+	}
+	if weightSum < 99 || weightSum > 101 {
+		t.Errorf("cluster weights sum to %v%%, want 100%%", weightSum)
+	}
+}
+
+func TestFigure11ClusterDiversity(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure11(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("Figure 11 empty")
+	}
+	// Feature 1 responses must differ across clusters.
+	lo, hi := 1e9, -1e9
+	for i := range tb.Rows {
+		v := cell(t, tb, i, 3)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 1 {
+		t.Errorf("Feature 1 cluster responses span only %v points", hi-lo)
+	}
+}
+
+func TestFigure12aAccuracy(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure12a(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Figure 12a rows = %d, want 3 features", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		flareErr := cell(t, tb, i, 7)
+		sampMaxErr := cell(t, tb, i, 5)
+		if flareErr > 2.5 {
+			t.Errorf("row %d: FLARE error %v, want < 2.5 (paper: ~1%%)", i, flareErr)
+		}
+		if sampMaxErr <= flareErr {
+			t.Errorf("row %d: sampling max error %v not above FLARE error %v", i, sampMaxErr, flareErr)
+		}
+	}
+}
+
+func TestFigure12bShape(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure12b(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3*8 {
+		t.Fatalf("Figure 12b rows = %d, want 24 (3 features x 8 HP jobs)", len(tb.Rows))
+	}
+	// FLARE per-job errors: mostly small, occasionally larger (the paper
+	// observes occasional inaccuracy).
+	large := 0
+	for i := range tb.Rows {
+		if cell(t, tb, i, 6) > 5 {
+			large++
+		}
+	}
+	if large > len(tb.Rows)/3 {
+		t.Errorf("%d of %d per-job estimates off by > 5 points", large, len(tb.Rows))
+	}
+}
+
+func TestFigure13FLAREBeatsSamplingAtCost(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure13(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each feature, find sampling error at FLARE's cost and compare.
+	type entry struct{ samplingAtCost, flare float64 }
+	entries := map[string]*entry{}
+	flareCost := len(env.Analysis.Representatives)
+	for i := range tb.Rows {
+		featName := tb.Rows[i][0]
+		e, ok := entries[featName]
+		if !ok {
+			e = &entry{samplingAtCost: -1, flare: -1}
+			entries[featName] = e
+		}
+		cost := int(cell(t, tb, i, 2))
+		val := cell(t, tb, i, 3)
+		if tb.Rows[i][1] == "flare" {
+			e.flare = val
+		} else if cost <= flareCost+2 && e.samplingAtCost < 0 {
+			e.samplingAtCost = val
+		}
+	}
+	for name, e := range entries {
+		if e.flare < 0 || e.samplingAtCost < 0 {
+			t.Errorf("%s: missing rows", name)
+			continue
+		}
+		if e.flare >= e.samplingAtCost {
+			t.Errorf("%s: FLARE error %v not below sampling-at-equal-cost %v", name, e.flare, e.samplingAtCost)
+		}
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	env := testEnv(t)
+	tb, err := HeadlineClaims(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("headline rows = %d, want 3", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		absErr := cell(t, tb, i, 3)
+		fullOverFlare := cell(t, tb, i, 7)
+		sampOverFlare := cell(t, tb, i, 8)
+		if absErr > 2.5 {
+			t.Errorf("row %d: abs error %v, want ~1%% regime", i, absErr)
+		}
+		if fullOverFlare < 10 {
+			t.Errorf("row %d: full/FLARE = %v, want large (paper: 50x)", i, fullOverFlare)
+		}
+		if sampOverFlare < 2 {
+			t.Errorf("row %d: sampling/FLARE = %v, want > 2 (paper: 10x)", i, sampOverFlare)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	env := testEnv(t)
+	for name, fn := range map[string]func(*Env) (*report.Table, error){
+		"Table2": Table2, "Table3": Table3, "Table4": Table4, "Table5": Table5,
+	} {
+		tb, err := fn(env)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty", name)
+		}
+		if out := tb.Render(); !strings.Contains(out, "==") {
+			t.Errorf("%s: render missing title", name)
+		}
+	}
+}
+
+func TestFigure14a(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure14a(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Figure 14a rows = %d, want 2 shapes", len(tb.Rows))
+	}
+	defaultOcc := cell(t, tb, 0, 3)
+	smallOcc := cell(t, tb, 1, 3)
+	if defaultOcc > 0.8 {
+		t.Errorf("example scenario occupies %v of default machine, want ~0.7", defaultOcc)
+	}
+	if smallOcc < 1 {
+		t.Errorf("example scenario occupies %v of small machine, want saturation (>= 1)", smallOcc)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+
+	tb, err := AblationClusterCount(env, []int{6, 18, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("cluster-count ablation rows = %d, want 3", len(tb.Rows))
+	}
+
+	tb, err = AblationPCCount(env, []float64{0.7, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Errorf("PC-count ablation rows = %d, want 2", len(tb.Rows))
+	}
+
+	if _, err := AblationWhitening(env); err != nil {
+		t.Errorf("whitening ablation: %v", err)
+	}
+	if _, err := AblationRefinement(env); err != nil {
+		t.Errorf("refinement ablation: %v", err)
+	}
+
+	tb, err = AblationRepresentativeSelection(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("representative-selection ablation rows = %d, want 3", len(tb.Rows))
+	}
+
+	tb, err = AblationWeighting(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Errorf("weighting ablation rows = %d, want 2", len(tb.Rows))
+	}
+}
+
+func TestFigure14b(t *testing.T) {
+	env := testEnv(t)
+	tb, err := Figure14b(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Figure 14b rows = %d, want 8 HP jobs", len(tb.Rows))
+	}
+	// FLARE with re-derived representatives must beat load testing in
+	// aggregate on the new shape (paper Sec 5.5).
+	var flareErr, ltErr float64
+	for i := range tb.Rows {
+		flareErr += cell(t, tb, i, 4)
+		ltErr += cell(t, tb, i, 5)
+	}
+	if flareErr >= ltErr {
+		t.Errorf("FLARE total error %v not below load-testing %v on the small shape", flareErr, ltErr)
+	}
+}
+
+func TestExtensionTemporalMetrics(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionTemporalMetrics(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("temporal extension rows = %d, want 6 (2 pipelines x 3 features)", len(tb.Rows))
+	}
+	// The enriched pipeline must use more raw metrics and keep errors in
+	// the same accuracy regime.
+	if cell(t, tb, 3, 1) <= cell(t, tb, 0, 1) {
+		t.Error("temporal pipeline does not report more raw metrics")
+	}
+	for i := 3; i < 6; i++ {
+		if e := cell(t, tb, i, 5); e > 3 {
+			t.Errorf("temporal pipeline error %v at row %d, want same regime as baseline", e, i)
+		}
+	}
+}
+
+func TestAblationClusteringMethod(t *testing.T) {
+	env := testEnv(t)
+	tb, err := AblationClusteringMethod(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("clustering-method ablation rows = %d, want 2", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if e := cell(t, tb, i, 2); e > 3 {
+			t.Errorf("%s error %v, want both methods in the accurate regime", tb.Rows[i][0], e)
+		}
+	}
+}
+
+func TestExtensionCanaryComparison(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionCanaryComparison(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("canary comparison rows = %d, want 9 (3 features x (2 canary + flare))", len(tb.Rows))
+	}
+	// FLARE's cost must be far below the canary's.
+	for i := 0; i < len(tb.Rows); i += 3 {
+		canaryCost := cell(t, tb, i, 2)
+		flareCost := cell(t, tb, i+2, 2)
+		if flareCost >= canaryCost {
+			t.Errorf("FLARE cost %v not below canary cost %v", flareCost, canaryCost)
+		}
+	}
+}
+
+func TestExtensionIBenchReplay(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionIBenchReplay(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(env.Analysis.Representatives) {
+		t.Fatalf("ibench replay rows = %d, want %d", len(tb.Rows), len(env.Analysis.Representatives))
+	}
+	// Hybrid replay (real HP + generator background) should track the
+	// real impact for most clusters.
+	offBy := 0
+	for i := range tb.Rows {
+		if cell(t, tb, i, 5) > 5 {
+			offBy++
+		}
+	}
+	if offBy > len(tb.Rows)/4 {
+		t.Errorf("%d of %d hybrid replays off by > 5 points", offBy, len(tb.Rows))
+	}
+}
+
+func TestExtensionDriftDetection(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionDriftDetection(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("drift detection rows = %d, want 2", len(tb.Rows))
+	}
+	if tb.Rows[0][4] != "no" {
+		t.Errorf("same-regime population flagged as drifted: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][4] != "yes" {
+		t.Errorf("small-shape population not flagged as drifted: %v", tb.Rows[1])
+	}
+}
+
+func TestExtensionPerJobMetrics(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionPerJobMetrics(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("per-job metrics extension rows = %d, want 6", len(tb.Rows))
+	}
+	// Both pipelines must stay in the accurate regime.
+	for i := range tb.Rows {
+		if e := cell(t, tb, i, 3); e > 3 {
+			t.Errorf("row %d: all-job error %v out of regime", i, e)
+		}
+	}
+}
+
+func TestExtensionAlternativeMetrics(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionAlternativeMetrics(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("alternative metrics rows = %d, want 3", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if truth := cell(t, tb, i, 1); truth <= 0 {
+			t.Errorf("%s: truth %v, want positive reduction", tb.Rows[i][0], truth)
+		}
+		if e := cell(t, tb, i, 3); e > 3 {
+			t.Errorf("%s: FLARE error %v, want same accuracy regime", tb.Rows[i][0], e)
+		}
+	}
+}
+
+func TestSVGFigures(t *testing.T) {
+	env := testEnv(t)
+	figs := map[string]func(*Env) (string, error){
+		"fig2": Figure2SVG, "fig3a": Figure3aSVG, "fig7": Figure7SVG, "fig9": Figure9SVG,
+		"fig10": Figure10SVG, "fig12a": Figure12aSVG, "fig13": Figure13SVG,
+	}
+	for name, fn := range figs {
+		svg, err := fn(env)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+			t.Errorf("%s: output is not a complete SVG document", name)
+		}
+	}
+}
+
+func TestExtensionSchedulerPolicies(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionSchedulerPolicies(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("scheduler policies rows = %d, want 3", len(tb.Rows))
+	}
+	// First-fit packs: its max occupancy must reach (or exceed) the
+	// least-utilised policy's.
+	if cell(t, tb, 1, 3) < cell(t, tb, 0, 3) {
+		t.Errorf("first-fit max occupancy %v below least-utilised %v", cell(t, tb, 1, 3), cell(t, tb, 0, 3))
+	}
+}
+
+func TestExtensionConfidenceIntervals(t *testing.T) {
+	env := testEnv(t)
+	tb, err := ExtensionConfidenceIntervals(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("confidence rows = %d, want 9 (3 features x 3 depths)", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 3 {
+		if hw := cell(t, tb, i, 4); hw != 0 {
+			t.Errorf("depth-0 half-width = %v, want 0", hw)
+		}
+		if hw := cell(t, tb, i+1, 4); hw <= 0 {
+			t.Errorf("depth-2 half-width = %v, want > 0", hw)
+		}
+		// Cost grows with depth.
+		if cell(t, tb, i+2, 2) <= cell(t, tb, i, 2) {
+			t.Errorf("row %d: cost did not grow with depth", i)
+		}
+	}
+}
+
+func TestPaperScaleHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping paper-scale (28-day) integration run in -short mode")
+	}
+	// Full paper-scale integration: the 28-day trace must reproduce the
+	// headline regime end to end.
+	env, err := NewEnv(DefaultEnvOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := env.Scenarios().Len(); n < 500 || n > 1500 {
+		t.Fatalf("population = %d, want the paper's regime (~895)", n)
+	}
+	tb, err := HeadlineClaims(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tb.Rows {
+		if e := cell(t, tb, i, 3); e > 1.5 {
+			t.Errorf("%s: abs error %v, want ~1%% regime", tb.Rows[i][0], e)
+		}
+		if r := cell(t, tb, i, 7); r < 40 {
+			t.Errorf("%s: full/FLARE = %v, want ~50x", tb.Rows[i][0], r)
+		}
+		if r := cell(t, tb, i, 8); r < 5 {
+			t.Errorf("%s: sampling/FLARE = %v, want ~10x", tb.Rows[i][0], r)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"flare/internal/ibench"
+	"flare/internal/perfmodel"
+	"flare/internal/perfscore"
+	"flare/internal/report"
+	"flare/internal/scenario"
+)
+
+// ExtensionIBenchReplay evaluates the paper's Sec 5.1 suggestion of using
+// iBench-style high-precision load generators on the testbed: for each
+// representative scenario the HP jobs of interest run unmodified while
+// the LP background is replaced by a generator mix fitted to reproduce
+// its interference pressures. The table compares Feature 1's HP impact
+// between the real colocation and the hybrid replay — close agreement
+// means representatives can be replayed without the original LP binaries.
+func ExtensionIBenchReplay(env *Env) (*report.Table, error) {
+	feat := env.Features[0]
+
+	t := report.NewTable(
+		"Extension: iBench-style background replay of representatives (Feature 1)",
+		"cluster", "scenario", "lp-instances", "real-impact-pct", "hybrid-impact-pct", "abs-diff",
+	)
+	var worst float64
+	for _, rep := range env.Analysis.Representatives {
+		sc, err := env.Scenarios().Get(rep.ScenarioID)
+		if err != nil {
+			return nil, err
+		}
+
+		realImp, err := perfscore.EvaluateScenario(env.Machine, feat, sc, env.Jobs, env.Inherent, perfscore.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		hybrid, lpInstances, err := hybridAssignments(env, sc)
+		if err != nil {
+			return nil, err
+		}
+		hybImp, err := perfscore.EvaluateAssignments(env.Machine, feat, hybrid, env.Inherent, perfscore.Options{})
+		if err != nil {
+			return nil, err
+		}
+
+		diff := abs(realImp.ReductionPct - hybImp.ReductionPct)
+		if diff > worst {
+			worst = diff
+		}
+		t.MustAddRow(
+			report.I(rep.Cluster),
+			report.I(rep.ScenarioID),
+			report.I(lpInstances),
+			report.F(realImp.ReductionPct, 2),
+			report.F(hybImp.ReductionPct, 2),
+			report.F(diff, 2),
+		)
+	}
+	t.AddNote("worst real-vs-hybrid HP impact difference: %.2f points", worst)
+	return t, nil
+}
+
+// hybridAssignments keeps a scenario's HP jobs real and substitutes its
+// LP background with a fitted generator mix. Scenarios without LP jobs
+// replay unchanged.
+func hybridAssignments(env *Env, sc scenario.Scenario) ([]perfmodel.Assignment, int, error) {
+	var hpPlacements, lpPlacements []scenario.Placement
+	for _, p := range sc.Placements {
+		prof, err := env.Jobs.Lookup(p.Job)
+		if err != nil {
+			return nil, 0, err
+		}
+		if prof.IsHP() {
+			hpPlacements = append(hpPlacements, p)
+		} else {
+			lpPlacements = append(lpPlacements, p)
+		}
+	}
+
+	var out []perfmodel.Assignment
+	for _, p := range hpPlacements {
+		prof, err := env.Jobs.Lookup(p.Job)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, perfmodel.Assignment{Profile: prof, Instances: p.Instances})
+	}
+	if len(lpPlacements) == 0 {
+		return out, 0, nil
+	}
+
+	lpScenario, err := scenario.New(lpPlacements)
+	if err != nil {
+		return nil, 0, err
+	}
+	fit, err := ibench.FitScenario(env.Machine, lpScenario, env.Jobs)
+	if err != nil {
+		return nil, 0, err
+	}
+	out = append(out, fit.Assignments...)
+	return out, lpScenario.TotalInstances(), nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"sort"
+
+	"flare/internal/report"
+	"flare/internal/stats"
+	"flare/internal/workload"
+)
+
+// Figure2 reproduces the Sec 3.1 pitfall: the per-HP-job MIPS reduction
+// of Feature 1 (cache sizing) as estimated by conventional load-testing
+// benchmarks versus observed in the datacenter.
+func Figure2(env *Env) (*report.Table, error) {
+	feat := env.Features[0] // Feature 1: cache sizing
+	t := report.NewTable(
+		"Figure 2: load-testing vs datacenter MIPS reduction (%), Feature 1",
+		"job", "load-testing", "datacenter", "datacenter-std", "abs-deviation",
+	)
+	var worst float64
+	for _, p := range env.Jobs.HPJobs() {
+		lt, err := env.Eval.LoadTesting(feat, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		truth, std, err := env.Eval.PerJobTruth(feat, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		dev := abs(lt - truth)
+		if dev > worst {
+			worst = dev
+		}
+		t.MustAddRow(p.Name, report.F(lt, 2), report.F(truth, 2), report.F(std, 2), report.F(dev, 2))
+	}
+	t.AddNote("worst-case deviation %.2f points: colocation-unaware load testing misestimates in-datacenter impact", worst)
+	return t, nil
+}
+
+// Figure3a reproduces the machine-occupancy characteristics: every
+// scenario's HP/LP instance mix and total occupancy, sorted by occupancy
+// (the step-like pattern comes from fixed 4-vCPU containers).
+func Figure3a(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Figure 3a: machine occupancy by scenario (sorted)",
+		"rank", "scenario", "hp-instances", "lp-instances", "vcpus", "occupancy",
+	)
+	set := env.Scenarios()
+	capVCPUs := env.Machine.VCPUs()
+	for rank, id := range set.SortedByOccupancy() {
+		sc, err := set.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		hp, lp := sc.CountByClass(env.Jobs)
+		t.MustAddRow(
+			report.I(rank),
+			report.I(id),
+			report.I(hp),
+			report.I(lp),
+			report.I(sc.VCPUs()),
+			report.F(sc.Occupancy(capVCPUs), 3),
+		)
+	}
+	t.AddNote("%d distinct job-colocation scenarios (paper: 895)", set.Len())
+	return t, nil
+}
+
+// Figure3b reproduces the impact-vs-MPKI scatter: Feature 1's per-scenario
+// MIPS reduction against the scenario's HP-job LLC MPKI, sorted by impact,
+// with the (weak) correlation the paper highlights.
+func Figure3b(env *Env) (*report.Table, error) {
+	feat := env.Features[0]
+	full, err := env.Eval.FullDatacenter(feat)
+	if err != nil {
+		return nil, err
+	}
+	mpkiCol, err := env.Dataset.MetricColumn("LLC-MPKI-HP")
+	if err != nil {
+		return nil, err
+	}
+
+	type pair struct {
+		id     int
+		impact float64
+		mpki   float64
+	}
+	pairs := make([]pair, len(full.Impacts))
+	impacts := make([]float64, len(full.Impacts))
+	for id, imp := range full.Impacts {
+		pairs[id] = pair{id: id, impact: imp.ReductionPct, mpki: mpkiCol[id]}
+		impacts[id] = imp.ReductionPct
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].impact < pairs[b].impact })
+
+	t := report.NewTable(
+		"Figure 3b: Feature 1 impact vs HP-job MPKI per scenario (sorted by impact)",
+		"rank", "scenario", "mips-reduction-pct", "hp-llc-mpki",
+	)
+	for rank, p := range pairs {
+		t.MustAddRow(report.I(rank), report.I(p.id), report.F(p.impact, 3), report.F(p.mpki, 3))
+	}
+	corr := stats.Correlation(impacts, mpkiCol)
+	t.AddNote("correlation(impact, HP MPKI) = %.3f: no single metric predicts the impact (paper Sec 3.2)", corr)
+	return t, nil
+}
+
+// Figure3bCorrelation returns just the impact-MPKI correlation, for
+// assertions and benchmarks.
+func Figure3bCorrelation(env *Env) (float64, error) {
+	feat := env.Features[0]
+	full, err := env.Eval.FullDatacenter(feat)
+	if err != nil {
+		return 0, err
+	}
+	mpkiCol, err := env.Dataset.MetricColumn("LLC-MPKI-HP")
+	if err != nil {
+		return 0, err
+	}
+	impacts := make([]float64, len(full.Impacts))
+	for id, imp := range full.Impacts {
+		impacts[id] = imp.ReductionPct
+	}
+	return stats.Correlation(impacts, mpkiCol), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// jobNames returns the HP job names in catalog order.
+func jobNames(cat *workload.Catalog) []string {
+	hp := cat.HPJobs()
+	out := make([]string, len(hp))
+	for i, p := range hp {
+		out[i] = p.Name
+	}
+	return out
+}

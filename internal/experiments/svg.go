@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flare/internal/svgplot"
+)
+
+// SVG figure generators: graphical renderings of the key paper figures,
+// written by flare-experiments next to the tables. They reuse the cached
+// evaluator state, so rendering after the table pass is cheap.
+
+// Figure2SVG renders the load-testing pitfall as grouped bars.
+func Figure2SVG(env *Env) (string, error) {
+	feat := env.Features[0]
+	labels := jobNames(env.Jobs)
+	lt := svgplot.Series{Name: "load-testing"}
+	dc := svgplot.Series{Name: "datacenter"}
+	for _, job := range labels {
+		v, err := env.Eval.LoadTesting(feat, job)
+		if err != nil {
+			return "", err
+		}
+		truth, _, err := env.Eval.PerJobTruth(feat, job)
+		if err != nil {
+			return "", err
+		}
+		lt.Values = append(lt.Values, v)
+		dc.Values = append(dc.Values, truth)
+	}
+	return svgplot.BarChart("Figure 2: MIPS reduction (%), Feature 1", labels, []svgplot.Series{lt, dc})
+}
+
+// Figure3aSVG renders the sorted machine-occupancy curve (the step-like
+// pattern of fixed-size containers).
+func Figure3aSVG(env *Env) (string, error) {
+	set := env.Scenarios()
+	capVCPUs := env.Machine.VCPUs()
+	ids := set.SortedByOccupancy()
+	var labels []string
+	occ := svgplot.Series{Name: "occupancy"}
+	for rank, id := range ids {
+		sc, err := set.Get(id)
+		if err != nil {
+			return "", err
+		}
+		labels = append(labels, fmt.Sprintf("%d", rank))
+		occ.Values = append(occ.Values, sc.Occupancy(capVCPUs))
+	}
+	return svgplot.LineChart("Figure 3a: machine occupancy by scenario (sorted)", labels, []svgplot.Series{occ})
+}
+
+// Figure7SVG renders the explained-variance curves.
+func Figure7SVG(env *Env) (string, error) {
+	mod := env.Analysis.PCA
+	limit := mod.NumPC + 10
+	if limit > len(mod.Explained) {
+		limit = len(mod.Explained)
+	}
+	var labels []string
+	per := svgplot.Series{Name: "per-PC"}
+	cum := svgplot.Series{Name: "cumulative"}
+	cumVals := mod.CumulativeExplained()
+	for k := 0; k < limit; k++ {
+		labels = append(labels, fmt.Sprintf("%d", k))
+		per.Values = append(per.Values, mod.Explained[k])
+		cum.Values = append(cum.Values, cumVals[k])
+	}
+	return svgplot.LineChart("Figure 7: explained variance per PC", labels, []svgplot.Series{per, cum})
+}
+
+// Figure9SVG renders the cluster sweep: SSE (normalised to its own max)
+// and silhouette on a shared [0,1]-ish scale.
+func Figure9SVG(env *Env) (string, error) {
+	sweep := env.Analysis.Sweep
+	if sweep == nil {
+		var err error
+		sweep, err = kmeansSweep(env)
+		if err != nil {
+			return "", err
+		}
+	}
+	var labels []string
+	sse := svgplot.Series{Name: "SSE (normalised)"}
+	sil := svgplot.Series{Name: "silhouette"}
+	var maxSSE float64
+	for _, p := range sweep {
+		if p.SSE > maxSSE {
+			maxSSE = p.SSE
+		}
+	}
+	for _, p := range sweep {
+		labels = append(labels, fmt.Sprintf("%d", p.K))
+		sse.Values = append(sse.Values, p.SSE/maxSSE)
+		sil.Values = append(sil.Values, p.Silhouette)
+	}
+	return svgplot.LineChart("Figure 9: SSE and silhouette vs cluster count", labels, []svgplot.Series{sse, sil})
+}
+
+// Figure10SVG renders the cluster-centre radar.
+func Figure10SVG(env *Env) (string, error) {
+	numPC := env.Analysis.PCA.NumPC
+	axes := make([]string, numPC)
+	for pc := range axes {
+		axes[pc] = fmt.Sprintf("pc%d", pc)
+	}
+	var rows []svgplot.Series
+	for c := 0; c < env.Analysis.Clustering.K; c++ {
+		centre, err := env.Analysis.ClusterCenterPCs(c)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, svgplot.Series{Name: fmt.Sprintf("cluster%d", c), Values: centre})
+	}
+	return svgplot.Radar("Figure 10: cluster centres in PC space", axes, rows)
+}
+
+// Figure12aSVG renders the all-job accuracy comparison as grouped bars.
+func Figure12aSVG(env *Env) (string, error) {
+	var labels []string
+	truth := svgplot.Series{Name: "datacenter"}
+	sampling := svgplot.Series{Name: "sampling p97.5"}
+	flare := svgplot.Series{Name: "flare"}
+	for _, feat := range env.Features {
+		full, err := env.Eval.FullDatacenter(feat)
+		if err != nil {
+			return "", err
+		}
+		est, err := env.FLAREEstimate(feat)
+		if err != nil {
+			return "", err
+		}
+		samp, err := env.Eval.Sample(feat, est.ScenariosReplayed, samplingTrials, env.Opts.Seed)
+		if err != nil {
+			return "", err
+		}
+		hi, err := samp.Quantile(0.975)
+		if err != nil {
+			return "", err
+		}
+		labels = append(labels, feat.Name)
+		truth.Values = append(truth.Values, full.MeanReductionPct)
+		sampling.Values = append(sampling.Values, hi)
+		flare.Values = append(flare.Values, est.ReductionPct)
+	}
+	return svgplot.BarChart("Figure 12a: all-job MIPS reduction (%)", labels,
+		[]svgplot.Series{truth, sampling, flare})
+}
+
+// Figure13SVG renders the cost/accuracy tradeoff: one sampling curve per
+// feature plus a flat line at FLARE's observed error.
+func Figure13SVG(env *Env) (string, error) {
+	n := env.Scenarios().Len()
+	sizes := []int{18, 36, 90, 180, 360}
+	if n < 360 {
+		sizes = []int{n / 48, n / 24, n / 10, n / 5, n / 2}
+		for i := range sizes {
+			if sizes[i] < 2 {
+				sizes[i] = 2
+			}
+		}
+	}
+	var labels []string
+	for _, s := range sizes {
+		labels = append(labels, fmt.Sprintf("%d", s))
+	}
+	var series []svgplot.Series
+	for _, feat := range env.Features {
+		curve, err := env.Eval.SamplingErrorCurve(feat, sizes, 0.95)
+		if err != nil {
+			return "", err
+		}
+		s := svgplot.Series{Name: "sampling " + feat.Name}
+		for _, p := range curve {
+			s.Values = append(s.Values, p.ExpectedError)
+		}
+		series = append(series, s)
+
+		full, err := env.Eval.FullDatacenter(feat)
+		if err != nil {
+			return "", err
+		}
+		est, err := env.FLAREEstimate(feat)
+		if err != nil {
+			return "", err
+		}
+		flat := svgplot.Series{Name: "flare " + feat.Name}
+		for range sizes {
+			flat.Values = append(flat.Values, abs(est.ReductionPct-full.MeanReductionPct))
+		}
+		series = append(series, flat)
+	}
+	return svgplot.LineChart("Figure 13: cost (scenarios) vs expected max error", labels, series)
+}

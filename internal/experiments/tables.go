@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flare/internal/machine"
+	"flare/internal/report"
+)
+
+// Table2 reproduces the datacenter machine specification table.
+func Table2(*Env) (*report.Table, error) {
+	return shapeTable("Table 2: datacenter machine specifications", machine.DefaultShape()), nil
+}
+
+// Table5 reproduces the two-shape configuration table of the
+// heterogeneous study.
+func Table5(*Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Table 5: two datacenter configurations",
+		"resource", "default", "small",
+	)
+	d, s := machine.DefaultShape(), machine.SmallShape()
+	t.MustAddRow("cpu", d.CPUModel, s.CPUModel)
+	t.MustAddRow("sockets x vcpus",
+		fmt.Sprintf("%d x %d", d.Sockets, d.CoresPerSocket*d.ThreadsPerCore),
+		fmt.Sprintf("%d x %d", s.Sockets, s.CoresPerSocket*s.ThreadsPerCore))
+	t.MustAddRow("dram-gb", report.F(d.DRAMGB, 0), report.F(s.DRAMGB, 0))
+	t.MustAddRow("llc-mb-per-socket", report.F(d.LLCMBPerSocket, 0), report.F(s.LLCMBPerSocket, 0))
+	t.MustAddRow("mem-bw-gbps", report.F(d.MemBWGBps, 0), report.F(s.MemBWGBps, 0))
+	t.MustAddRow("max-freq-ghz", report.F(d.MaxFreqGHz, 1), report.F(s.MaxFreqGHz, 1))
+	t.MustAddRow("network-gbps", report.F(d.NetworkGbps, 0), report.F(s.NetworkGbps, 0))
+	return t, nil
+}
+
+func shapeTable(title string, s machine.Shape) *report.Table {
+	t := report.NewTable(title, "resource", "value")
+	t.MustAddRow("cpu", s.CPUModel)
+	t.MustAddRow("sockets", report.I(s.Sockets))
+	t.MustAddRow("vcpus-per-socket", report.I(s.CoresPerSocket*s.ThreadsPerCore))
+	t.MustAddRow("dram-gb", report.F(s.DRAMGB, 0))
+	t.MustAddRow("llc-mb-per-socket", report.F(s.LLCMBPerSocket, 0))
+	t.MustAddRow("freq-range-ghz", fmt.Sprintf("%.1f - %.1f", s.BaseFreqGHz, s.MaxFreqGHz))
+	t.MustAddRow("network-gbps", report.F(s.NetworkGbps, 0))
+	t.MustAddRow("disk-mbps", report.F(s.DiskMBps, 0))
+	return t
+}
+
+// Table3 reproduces the job-configuration catalog.
+func Table3(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Table 3: configurations of datacenter job instances",
+		"job", "class", "description", "memory-gb", "working-set-mb", "inherent-mips",
+	)
+	for _, p := range env.Jobs.Profiles() {
+		inh, err := env.Inherent.MIPS(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.MustAddRow(p.Name, p.Class.String(), p.Long,
+			report.F(p.MemoryGB, 0), report.F(p.WorkingSetMB, 0), report.F(inh, 0))
+	}
+	t.AddNote("every instance is a %d-vCPU container; inherent MIPS measured alone on the default machine", 4)
+	return t, nil
+}
+
+// Table4 reproduces the feature summary.
+func Table4(env *Env) (*report.Table, error) {
+	t := report.NewTable(
+		"Table 4: datacenter-improving features under evaluation",
+		"setup", "llc-mb", "max-freq-ghz", "smt",
+	)
+	base := env.Machine
+	t.MustAddRow("baseline", report.F(base.LLCMB, 0), report.F(base.MaxFreqGHz, 1), boolMark(base.SMTEnabled))
+	for _, feat := range env.Features {
+		cfg := feat.Apply(base)
+		t.MustAddRow(feat.Name, report.F(cfg.LLCMB, 0), report.F(cfg.MaxFreqGHz, 1), boolMark(cfg.SMTEnabled))
+	}
+	return t, nil
+}

@@ -1,0 +1,224 @@
+// Package hcluster implements agglomerative hierarchical clustering with
+// the classic Lance-Williams linkage updates (Ward, average, single,
+// complete). The paper notes hierarchical clustering (as used by the
+// SPEC-characterisation studies it builds on) as a drop-in alternative to
+// k-means for grouping colocation scenarios; the analyzer exposes it as a
+// selectable method and an ablation compares the two.
+package hcluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flare/internal/linalg"
+)
+
+// Linkage selects the inter-cluster distance update rule.
+type Linkage int
+
+// Linkage rules.
+const (
+	Ward Linkage = iota + 1 // minimum variance increase (pairs with k-means)
+	Average
+	Single
+	Complete
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case Ward:
+		return "ward"
+	case Average:
+		return "average"
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step.
+type Merge struct {
+	A, B   int     // merged cluster roots (original point indices act as leaves)
+	Height float64 // inter-cluster distance at the merge
+}
+
+// Result is a clustering cut from the dendrogram.
+type Result struct {
+	K      int
+	Labels []int   // cluster index per observation, 0..K-1
+	Sizes  []int   // observations per cluster
+	Merges []Merge // the merge sequence actually performed (n-K merges)
+}
+
+// Cluster agglomerates the rows of m down to k clusters under the given
+// linkage.
+func Cluster(m *linalg.Matrix, k int, linkage Linkage) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("hcluster: nil matrix")
+	}
+	n := m.Rows()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("hcluster: k = %d outside [1, %d]", k, n)
+	}
+	if linkage < Ward || linkage > Complete {
+		return nil, fmt.Errorf("hcluster: invalid linkage %d", int(linkage))
+	}
+
+	// Squared-distance matrix (Lance-Williams for Ward works on squared
+	// Euclidean distances; the other linkages are monotone in them).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		ri := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			rj := m.Row(j)
+			var d float64
+			for x := range ri {
+				diff := ri[x] - rj[x]
+				d += diff * diff
+			}
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	// parent chain for final labelling: each point tracks its current root
+	// through a union-find-ish parent array.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+
+	res := &Result{K: k}
+	clusters := n
+	for clusters > k {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		// Merge bj into bi.
+		res.Merges = append(res.Merges, Merge{A: bi, B: bj, Height: math.Sqrt(best)})
+		for x := 0; x < n; x++ {
+			if !active[x] || x == bi || x == bj {
+				continue
+			}
+			dist[bi][x] = update(linkage, dist[bi][x], dist[bj][x], dist[bi][bj],
+				size[bi], size[bj], size[x])
+			dist[x][bi] = dist[bi][x]
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		parent[bj] = bi
+		clusters--
+	}
+
+	// Compress parents to roots, then densify root ids to 0..K-1.
+	rootOf := func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	res.Labels = make([]int, n)
+	idOf := make(map[int]int, k)
+	for i := 0; i < n; i++ {
+		r := rootOf(i)
+		id, ok := idOf[r]
+		if !ok {
+			id = len(idOf)
+			idOf[r] = id
+		}
+		res.Labels[i] = id
+	}
+	res.Sizes = make([]int, len(idOf))
+	for _, l := range res.Labels {
+		res.Sizes[l]++
+	}
+	return res, nil
+}
+
+// update applies the Lance-Williams recurrence for d(x, i∪j) given the
+// pre-merge squared distances and cluster sizes.
+func update(l Linkage, dxi, dxj, dij float64, ni, nj, nx int) float64 {
+	switch l {
+	case Ward:
+		fi := float64(ni + nx)
+		fj := float64(nj + nx)
+		ft := float64(ni + nj + nx)
+		return (fi*dxi + fj*dxj - float64(nx)*dij) / ft
+	case Average:
+		fi := float64(ni) / float64(ni+nj)
+		fj := float64(nj) / float64(ni+nj)
+		return fi*dxi + fj*dxj
+	case Single:
+		return math.Min(dxi, dxj)
+	case Complete:
+		return math.Max(dxi, dxj)
+	default:
+		panic(fmt.Sprintf("hcluster: unknown linkage %d", int(l)))
+	}
+}
+
+// Centroids returns the mean vector of each cluster, compatible with the
+// representative-extraction step.
+func (r *Result) Centroids(m *linalg.Matrix) [][]float64 {
+	dim := m.Cols()
+	out := make([][]float64, len(r.Sizes))
+	for c := range out {
+		out[c] = make([]float64, dim)
+	}
+	for i, lbl := range r.Labels {
+		row := m.Row(i)
+		for x, v := range row {
+			out[lbl][x] += v
+		}
+	}
+	for c, sz := range r.Sizes {
+		if sz == 0 {
+			continue
+		}
+		for x := range out[c] {
+			out[c][x] /= float64(sz)
+		}
+	}
+	return out
+}
+
+// SSE returns the sum of squared distances of every observation to its
+// cluster centroid, comparable with the k-means quality metric.
+func (r *Result) SSE(m *linalg.Matrix) float64 {
+	cents := r.Centroids(m)
+	var sse float64
+	for i, lbl := range r.Labels {
+		row := m.Row(i)
+		for x, v := range row {
+			diff := v - cents[lbl][x]
+			sse += diff * diff
+		}
+	}
+	return sse
+}

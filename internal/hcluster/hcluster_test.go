@@ -1,0 +1,204 @@
+package hcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flare/internal/linalg"
+)
+
+// blobs builds n points around k well-separated centres.
+func blobs(r *rand.Rand, n, k, dim int, spread float64) (*linalg.Matrix, []int) {
+	m := linalg.NewMatrix(n, dim)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		truth[i] = c
+		for d := 0; d < dim; d++ {
+			m.Set(i, d, float64(c*25)+spread*r.NormFloat64())
+		}
+	}
+	return m, truth
+}
+
+func TestClusterValidation(t *testing.T) {
+	m := linalg.NewMatrix(5, 2)
+	if _, err := Cluster(nil, 2, Ward); err == nil {
+		t.Error("nil matrix did not error")
+	}
+	if _, err := Cluster(m, 0, Ward); err == nil {
+		t.Error("k=0 did not error")
+	}
+	if _, err := Cluster(m, 6, Ward); err == nil {
+		t.Error("k>n did not error")
+	}
+	if _, err := Cluster(m, 2, Linkage(99)); err == nil {
+		t.Error("bad linkage did not error")
+	}
+}
+
+func TestClusterRecoversBlobsAllLinkages(t *testing.T) {
+	for _, linkage := range []Linkage{Ward, Average, Single, Complete} {
+		t.Run(linkage.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(1))
+			m, truth := blobs(r, 90, 3, 3, 0.5)
+			res, err := Cluster(m, 3, linkage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapping := map[int]int{}
+			for i, lbl := range res.Labels {
+				if prev, ok := mapping[truth[i]]; ok {
+					if prev != lbl {
+						t.Fatalf("blob %d split across clusters", truth[i])
+					}
+					continue
+				}
+				mapping[truth[i]] = lbl
+			}
+			if len(mapping) != 3 {
+				t.Errorf("recovered %d clusters, want 3", len(mapping))
+			}
+		})
+	}
+}
+
+func TestClusterSizesAndMergeCount(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m, _ := blobs(r, 40, 4, 2, 1.0)
+	res, err := Cluster(m, 4, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 40 {
+		t.Errorf("sizes sum to %d, want 40", total)
+	}
+	if len(res.Merges) != 36 {
+		t.Errorf("performed %d merges, want n-k = 36", len(res.Merges))
+	}
+}
+
+func TestClusterKEqualsNIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m, _ := blobs(r, 12, 3, 2, 0.2)
+	res, err := Cluster(m, 12, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		if seen[l] {
+			t.Fatal("k = n produced a shared cluster")
+		}
+		seen[l] = true
+	}
+	if res.SSE(m) > 1e-9 {
+		t.Errorf("k = n SSE = %v, want 0", res.SSE(m))
+	}
+}
+
+func TestWardMergeHeightsMonotone(t *testing.T) {
+	// Ward linkage produces (weakly) increasing merge heights on any
+	// dataset (it is a reducible linkage).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(30)
+		m := linalg.NewMatrix(n, 3)
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				m.Set(i, d, r.NormFloat64()*5)
+			}
+		}
+		res, err := Cluster(m, 1, Ward)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Merges); i++ {
+			if res.Merges[i].Height < res.Merges[i-1].Height-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroidsMatchManualMeans(t *testing.T) {
+	m, err := linalg.FromRows([][]float64{
+		{0, 0}, {2, 0}, {100, 100}, {102, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(m, 2, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := res.Centroids(m)
+	// One centroid near (1,0), the other near (101,100).
+	found := 0
+	for _, c := range cents {
+		if math.Abs(c[0]-1) < 1e-9 && math.Abs(c[1]) < 1e-9 {
+			found++
+		}
+		if math.Abs(c[0]-101) < 1e-9 && math.Abs(c[1]-100) < 1e-9 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("centroids = %v, want (1,0) and (101,100)", cents)
+	}
+}
+
+func TestSSEDecreasesWithK(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m, _ := blobs(r, 60, 5, 3, 2.0)
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 8, 16} {
+		res, err := Cluster(m, k, Ward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse := res.SSE(m)
+		if sse > prev+1e-9 {
+			t.Errorf("SSE rose from %v to %v at k=%d", prev, sse, k)
+		}
+		prev = sse
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	for l, want := range map[Linkage]string{
+		Ward: "ward", Average: "average", Single: "single", Complete: "complete",
+	} {
+		if l.String() != want {
+			t.Errorf("Linkage(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m, _ := blobs(r, 50, 3, 3, 1.0)
+	a, err := Cluster(m, 5, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(m, 5, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("hierarchical clustering is non-deterministic")
+		}
+	}
+}

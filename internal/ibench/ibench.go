@@ -1,0 +1,278 @@
+// Package ibench provides synthetic interference generators in the style
+// of iBench [Delimitrou & Kozyrakis, IISWC'13], which the paper names as
+// the high-precision option for reproducing job behaviours on a testbed
+// (Sec 5.1): tunable single-resource pressure sources for CPU, LLC
+// capacity, memory bandwidth, network, and disk.
+//
+// Each generator is an ordinary workload.Profile, so it runs through the
+// same contention model as real jobs. FitScenario composes generators to
+// approximate a recorded colocation's machine-level pressures, enabling
+// replay on testbeds where the original binaries are unavailable.
+package ibench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flare/internal/machine"
+	"flare/internal/mathx"
+	"flare/internal/perfmodel"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+// Kind selects the resource a generator pressures.
+type Kind int
+
+// Generator kinds.
+const (
+	CPU     Kind = iota + 1 // integer pipeline pressure, clock-bound
+	Cache                   // LLC capacity pressure (working-set sweep)
+	Stream                  // memory-bandwidth pressure (streaming misses)
+	Network                 // NIC pressure
+	Disk                    // storage pressure
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case Cache:
+		return "cache"
+	case Stream:
+		return "stream"
+	case Network:
+		return "network"
+	case Disk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Generator returns a pressure-source profile of the given kind. The
+// intensity in (0, 1] scales the generator's resource appetite between a
+// light probe and a full-throttle antagonist.
+func Generator(kind Kind, intensity float64) (workload.Profile, error) {
+	if intensity <= 0 || intensity > 1 {
+		return workload.Profile{}, fmt.Errorf("ibench: intensity %v outside (0, 1]", intensity)
+	}
+	name := fmt.Sprintf("ibench-%s-%02.0f", kind, intensity*100)
+	base := workload.Profile{
+		Name: name, Long: "iBench " + kind.String() + " pressure generator", Class: workload.ClassLP,
+		MemoryGB: 2, InherentMIPS: 9000, BaseIPC: 1.0,
+		WorkingSetMB: 1, LLCAPKI: 1, ColdMissFrac: 0.05, MissCurve: 2.5,
+		FrontendBound: 0.10, BadSpeculation: 0.05, BackendBound: 0.25, Retiring: 0.60,
+		BranchMPKI: 1, L1MPKI: 8, L2MPKI: 2, ALUFrac: 0.5,
+		FreqSensitivity: 0.9, SMTYield: 0.6,
+		NetworkMbps: 0, DiskMBps: 0.5,
+		CtxSwitchPerSec: 50, PageFaultPerSec: 20,
+	}
+	switch kind {
+	case CPU:
+		base.BaseIPC = 0.8 + 1.0*intensity
+		base.InherentMIPS = base.BaseIPC * 11600
+		base.ALUFrac = 0.4 + 0.5*intensity
+		base.SMTYield = 0.58
+	case Cache:
+		// A working-set sweep sized by intensity: from a few MB up to a
+		// full socket's LLC, with cache-friendly reuse (it *occupies*
+		// capacity rather than streaming through it).
+		base.WorkingSetMB = 4 + 56*intensity
+		base.LLCAPKI = 8 + 22*intensity
+		base.ColdMissFrac = 0.05
+		base.MissCurve = 2.0
+		base.BaseIPC = 0.9 - 0.4*intensity
+		base.FreqSensitivity = 0.5
+		base.BackendBound = 0.30 + 0.30*intensity
+		base.Retiring = mathx.Clamp(1-base.BackendBound-base.FrontendBound-base.BadSpeculation, 0.05, 1)
+		base.SMTYield = 0.75
+	case Stream:
+		// Pointer-free streaming: every access misses, saturating DRAM.
+		base.WorkingSetMB = 128
+		base.LLCAPKI = 10 + 30*intensity
+		base.ColdMissFrac = 0.85
+		base.MissCurve = 0.5
+		base.BaseIPC = 0.6 - 0.2*intensity
+		base.FreqSensitivity = 0.15
+		base.BackendBound = 0.75
+		base.FrontendBound = 0.05
+		base.BadSpeculation = 0.02
+		base.Retiring = 0.18
+		base.SMTYield = 0.85
+	case Network:
+		base.NetworkMbps = 2500 * intensity
+		base.BaseIPC = 0.9
+		base.FreqSensitivity = 0.4
+		base.CtxSwitchPerSec = 20000 * intensity
+	case Disk:
+		base.DiskMBps = 400 * intensity
+		base.BaseIPC = 0.8
+		base.FreqSensitivity = 0.35
+	default:
+		return workload.Profile{}, fmt.Errorf("ibench: unknown kind %d", int(kind))
+	}
+	if err := base.Validate(); err != nil {
+		return workload.Profile{}, fmt.Errorf("ibench: generated profile invalid: %w", err)
+	}
+	return base, nil
+}
+
+// Fit is the generator mix approximating a recorded scenario.
+type Fit struct {
+	Assignments []perfmodel.Assignment
+	// Target and Achieved summarise the machine-level pressures of the
+	// original colocation and its approximation.
+	Target   perfmodel.MachinePerf
+	Achieved perfmodel.MachinePerf
+}
+
+// FitScenario composes pressure generators to approximate the
+// machine-level behaviour of a recorded colocation on the given machine:
+// same vCPU footprint, with generator kinds apportioned and tuned by a
+// few rounds of proportional control on LLC miss rate, memory bandwidth,
+// network, and disk pressure.
+func FitScenario(cfg machine.Config, sc scenario.Scenario, cat *workload.Catalog) (*Fit, error) {
+	if cat == nil {
+		return nil, errors.New("ibench: nil catalog")
+	}
+	target, err := evaluateScenario(cfg, sc, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	instances := sc.TotalInstances()
+	if instances == 0 {
+		return nil, errors.New("ibench: empty scenario")
+	}
+
+	// Start with every instance as a CPU generator, then alternate two
+	// moves until the pressures line up: (a) proportional control on each
+	// kind's intensity knob; (b) when a knob saturates while its pressure
+	// is still short, convert one CPU instance into that kind.
+	kinds := []Kind{CPU, Cache, Stream, Network, Disk}
+	counts := map[Kind]int{CPU: instances}
+	intensity := map[Kind]float64{CPU: 0.5, Cache: 0.6, Stream: 0.6, Network: 0.6, Disk: 0.6}
+
+	var achieved perfmodel.MachinePerf
+	var mix []perfmodel.Assignment
+	const rounds = 60
+	for iter := 0; iter < rounds; iter++ {
+		mix = mix[:0]
+		for _, kind := range kinds {
+			if counts[kind] == 0 {
+				continue
+			}
+			prof, err := Generator(kind, intensity[kind])
+			if err != nil {
+				return nil, err
+			}
+			mix = append(mix, perfmodel.Assignment{Profile: prof, Instances: counts[kind]})
+		}
+		res, err := perfmodel.Evaluate(cfg, mix, perfmodel.Options{})
+		if err != nil {
+			return nil, err
+		}
+		achieved = res.Machine
+
+		type dim struct {
+			kind             Kind
+			target, achieved float64
+		}
+		dims := []dim{
+			{Cache, target.LLCMPKI, achieved.LLCMPKI},
+			{Stream, target.MemBWGBps, achieved.MemBWGBps},
+			{Network, target.NetworkMbps, achieved.NetworkMbps},
+			{Disk, target.DiskMBps, achieved.DiskMBps},
+		}
+		// (a) intensity control.
+		for _, d := range dims {
+			intensity[d.kind] = adjust(intensity[d.kind], d.target, d.achieved)
+		}
+		// (b) instance reassignment for the worst saturated deficit.
+		worst, worstRatio := Kind(0), 1.25
+		for _, d := range dims {
+			if d.target < 1e-6 || intensity[d.kind] < 0.9 {
+				continue
+			}
+			base := d.achieved
+			if base < 1e-9 {
+				base = 1e-9
+			}
+			if ratio := d.target / base; ratio > worstRatio {
+				worst, worstRatio = d.kind, ratio
+			}
+		}
+		if worst != 0 && counts[CPU] > 0 {
+			counts[CPU]--
+			counts[worst]++
+			intensity[worst] = 0.85 // re-open the knob after adding capacity
+		}
+	}
+
+	return &Fit{Assignments: mix, Target: target, Achieved: achieved}, nil
+}
+
+// evaluateScenario runs the real colocation to obtain the target machine
+// pressures.
+func evaluateScenario(cfg machine.Config, sc scenario.Scenario, cat *workload.Catalog) (perfmodel.MachinePerf, error) {
+	assignments := make([]perfmodel.Assignment, 0, len(sc.Placements))
+	for _, p := range sc.Placements {
+		prof, err := cat.Lookup(p.Job)
+		if err != nil {
+			return perfmodel.MachinePerf{}, fmt.Errorf("ibench: %w", err)
+		}
+		assignments = append(assignments, perfmodel.Assignment{Profile: prof, Instances: p.Instances})
+	}
+	res, err := perfmodel.Evaluate(cfg, assignments, perfmodel.Options{})
+	if err != nil {
+		return perfmodel.MachinePerf{}, err
+	}
+	return res.Machine, nil
+}
+
+// apportion splits n instances across kinds proportionally to weights,
+// guaranteeing the weights' relative order survives rounding and that
+// exactly n instances are assigned (the first kind absorbs remainder).
+func apportion(n int, weights []float64) []int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	counts := make([]int, len(weights))
+	assigned := 0
+	for i := 1; i < len(weights); i++ { // kind 0 is the remainder sink
+		counts[i] = int(math.Round(weights[i] / total * float64(n)))
+		assigned += counts[i]
+	}
+	if assigned > n {
+		// Trim overflow from the largest bucket.
+		for assigned > n {
+			maxI := 1
+			for i := 2; i < len(counts); i++ {
+				if counts[i] > counts[maxI] {
+					maxI = i
+				}
+			}
+			counts[maxI]--
+			assigned--
+		}
+	}
+	counts[0] = n - assigned
+	return counts
+}
+
+// adjust nudges an intensity toward reproducing the target quantity.
+func adjust(current, target, achieved float64) float64 {
+	if achieved < 1e-9 {
+		if target < 1e-9 {
+			return current
+		}
+		return mathx.Clamp(current*1.5, 0.05, 1)
+	}
+	ratio := target / achieved
+	// Damped proportional step.
+	return mathx.Clamp(current*(1+0.6*(ratio-1)), 0.05, 1)
+}

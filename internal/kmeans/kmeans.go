@@ -1,0 +1,180 @@
+// Package kmeans implements FLARE's clustering step (paper Sec 4.4):
+// k-means++ seeded Lloyd iteration over whitened PC scores, plus the two
+// clustering-quality metrics the paper uses to choose the cluster count —
+// Sum of Squared Errors (SSE) and Silhouette Score (Fig 9).
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flare/internal/linalg"
+	"flare/internal/mathx"
+)
+
+// Options controls a clustering run.
+type Options struct {
+	// MaxIters bounds Lloyd iterations per restart; <= 0 means 100.
+	MaxIters int
+	// Restarts runs the whole algorithm this many times with different
+	// seedings and keeps the lowest-SSE result; <= 0 means 8.
+	Restarts int
+	// Rand supplies randomness (required).
+	Rand *rand.Rand
+}
+
+// Result is a converged clustering.
+type Result struct {
+	K         int
+	Centroids []mathx.Vector // K centroids
+	Labels    []int          // cluster index per observation
+	Sizes     []int          // observations per cluster
+	SSE       float64        // sum of squared point-to-centroid distances
+	Iters     int            // Lloyd iterations of the winning restart
+}
+
+// Cluster partitions the rows of m into k clusters.
+func Cluster(m *linalg.Matrix, k int, opts Options) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("kmeans: nil matrix")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kmeans: k = %d, want positive", k)
+	}
+	if k > m.Rows() {
+		return nil, fmt.Errorf("kmeans: k = %d exceeds %d observations", k, m.Rows())
+	}
+	if opts.Rand == nil {
+		return nil, errors.New("kmeans: Options.Rand is required")
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+
+	points := make([]mathx.Vector, m.Rows())
+	for i := range points {
+		points[i] = m.Row(i)
+	}
+
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res := lloyd(points, k, maxIters, opts.Rand)
+		if best == nil || res.SSE < best.SSE {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one k-means++ seeded Lloyd iteration to convergence.
+func lloyd(points []mathx.Vector, k, maxIters int, rng *rand.Rand) *Result {
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, len(points))
+	res := &Result{K: k}
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			c := nearest(p, centroids)
+			if c != labels[i] {
+				labels[i] = c
+				changed = true
+			}
+		}
+		res.Iters = iter + 1
+		centroids = recompute(points, labels, centroids, rng)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	res.Centroids = centroids
+	res.Labels = labels
+	res.Sizes = make([]int, k)
+	for i, p := range points {
+		res.Sizes[labels[i]]++
+		res.SSE += p.DistanceSq(centroids[labels[i]])
+	}
+	return res
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D^2 weighting.
+func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
+	centroids := make([]mathx.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+
+	dist := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := p.DistanceSq(centroids[0])
+			for _, c := range centroids[1:] {
+				if dd := p.DistanceSq(c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total <= 0 {
+			// All remaining points coincide with existing centroids; pick
+			// arbitrarily to keep k centroids.
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dist {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, points[idx].Clone())
+	}
+	return centroids
+}
+
+// nearest returns the index of the closest centroid.
+func nearest(p mathx.Vector, centroids []mathx.Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := p.DistanceSq(cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// recompute rebuilds centroids as cluster means; an emptied cluster is
+// re-seeded on a random point so k never silently shrinks.
+func recompute(points []mathx.Vector, labels []int, old []mathx.Vector, rng *rand.Rand) []mathx.Vector {
+	k := len(old)
+	dim := len(old[0])
+	sums := make([]mathx.Vector, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = mathx.NewVector(dim)
+	}
+	for i, p := range points {
+		p.AccumulateInto(sums[labels[i]])
+		counts[labels[i]]++
+	}
+	out := make([]mathx.Vector, k)
+	for c := range out {
+		if counts[c] == 0 {
+			out[c] = points[rng.Intn(len(points))].Clone()
+			continue
+		}
+		out[c] = sums[c].Scale(1 / float64(counts[c]))
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/linalg"
+	"flare/internal/mathx"
+)
+
+// Silhouette computes the mean silhouette score of a clustering in
+// [-1, 1]: for each point, (b-a)/max(a,b) where a is the mean distance to
+// its own cluster and b the mean distance to the nearest other cluster.
+// Points in singleton clusters score 0 by convention. It returns an error
+// when the clustering has fewer than 2 clusters (the score is undefined).
+func Silhouette(m *linalg.Matrix, labels []int, k int) (float64, error) {
+	if m == nil {
+		return 0, errors.New("kmeans: nil matrix")
+	}
+	if len(labels) != m.Rows() {
+		return 0, fmt.Errorf("kmeans: %d labels for %d observations", len(labels), m.Rows())
+	}
+	if k < 2 {
+		return 0, errors.New("kmeans: silhouette needs at least 2 clusters")
+	}
+
+	points := make([]mathx.Vector, m.Rows())
+	for i := range points {
+		points[i] = m.Row(i)
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l < 0 || l >= k {
+			return 0, fmt.Errorf("kmeans: label %d outside [0, %d)", l, k)
+		}
+		sizes[l]++
+	}
+
+	var total float64
+	sumDist := make([]float64, k)
+	for i, p := range points {
+		for c := range sumDist {
+			sumDist[c] = 0
+		}
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sumDist[labels[j]] += p.Distance(q)
+		}
+		own := labels[i]
+		if sizes[own] <= 1 {
+			continue // convention: silhouette 0
+		}
+		a := sumDist[own] / float64(sizes[own]-1)
+		b := -1.0
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			mean := sumDist[c] / float64(sizes[c])
+			if b < 0 || mean < b {
+				b = mean
+			}
+		}
+		if b < 0 {
+			continue // no other non-empty cluster
+		}
+		if denom := max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(len(points)), nil
+}
+
+// SweepPoint is one entry of a cluster-count sweep (Fig 9).
+type SweepPoint struct {
+	K          int
+	SSE        float64
+	Silhouette float64
+}
+
+// Sweep clusters m for every k in [kMin, kMax] and reports SSE and
+// silhouette per k, the data behind the paper's Figure 9. The same
+// Options (and Rand) drive every k, making the sweep reproducible.
+func Sweep(m *linalg.Matrix, kMin, kMax int, opts Options) ([]SweepPoint, error) {
+	if kMin < 2 || kMax < kMin {
+		return nil, fmt.Errorf("kmeans: invalid sweep range [%d, %d]", kMin, kMax)
+	}
+	out := make([]SweepPoint, 0, kMax-kMin+1)
+	for k := kMin; k <= kMax; k++ {
+		res, err := Cluster(m, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		sil, err := Silhouette(m, res.Labels, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{K: k, SSE: res.SSE, Silhouette: sil})
+	}
+	return out, nil
+}
+
+// KneeK picks the sweep's recommended cluster count: the k whose combined
+// quality (normalised SSE drop saturating, silhouette still healthy) sits
+// at the knee of the curve. The heuristic mirrors the paper's "pick the
+// point where the return starts to diminish": the smallest k at which the
+// remaining achievable SSE reduction falls below kneeFrac of the total
+// range.
+func KneeK(sweep []SweepPoint, kneeFrac float64) (int, error) {
+	if len(sweep) < 2 {
+		return 0, errors.New("kmeans: sweep too short for knee detection")
+	}
+	if kneeFrac <= 0 || kneeFrac >= 1 {
+		return 0, fmt.Errorf("kmeans: knee fraction %v outside (0, 1)", kneeFrac)
+	}
+	first, last := sweep[0].SSE, sweep[len(sweep)-1].SSE
+	span := first - last
+	if span <= 0 {
+		return sweep[0].K, nil
+	}
+	for _, p := range sweep {
+		if (p.SSE-last)/span <= kneeFrac {
+			return p.K, nil
+		}
+	}
+	return sweep[len(sweep)-1].K, nil
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenResult holds the eigendecomposition of a symmetric matrix.
+// Eigenvalues are sorted in descending order and Vectors[k] is the unit
+// eigenvector paired with Values[k].
+type EigenResult struct {
+	Values  []float64   // descending eigenvalues
+	Vectors [][]float64 // Vectors[k] is the eigenvector for Values[k]
+}
+
+// jacobiMaxSweeps bounds the number of full Jacobi sweeps. For symmetric
+// matrices of the sizes FLARE uses (<= a few hundred), convergence is
+// typically reached in well under 20 sweeps.
+const jacobiMaxSweeps = 100
+
+// SymmetricEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi rotation method. It returns an error if
+// the matrix is not symmetric or if the iteration fails to converge
+// (which indicates a non-symmetric or pathological input).
+func SymmetricEigen(m *Matrix) (*EigenResult, error) {
+	if !m.IsSymmetric(1e-8) {
+		return nil, errors.New("linalg: SymmetricEigen requires a symmetric matrix")
+	}
+	n := m.Rows()
+	a := m.Clone()   // working copy, becomes diagonal
+	v := Identity(n) // accumulates rotations; columns are eigenvectors
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagonalNorm(a)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				rotate(a, v, p, q)
+			}
+		}
+	}
+	if offDiagonalNorm(a) > 1e-6 {
+		return nil, errors.New("linalg: Jacobi iteration did not converge")
+	}
+
+	// Collect eigenpairs and sort by descending eigenvalue.
+	type pair struct {
+		value  float64
+		vector []float64
+	}
+	pairs := make([]pair, n)
+	for k := 0; k < n; k++ {
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v.At(i, k)
+		}
+		pairs[k] = pair{value: a.At(k, k), vector: vec}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].value > pairs[j].value })
+
+	out := &EigenResult{
+		Values:  make([]float64, n),
+		Vectors: make([][]float64, n),
+	}
+	for k, p := range pairs {
+		out.Values[k] = p.value
+		out.Vectors[k] = canonicalSign(p.vector)
+	}
+	return out, nil
+}
+
+// rotate applies one Jacobi rotation zeroing a[p][q], updating both the
+// working matrix a and the accumulated eigenvector matrix v in place.
+func rotate(a, v *Matrix, p, q int) {
+	apq := a.At(p, q)
+	if math.Abs(apq) < 1e-15 {
+		return
+	}
+	app, aqq := a.At(p, p), a.At(q, q)
+
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		aip, aiq := a.At(i, p), a.At(i, q)
+		a.Set(i, p, c*aip-s*aiq)
+		a.Set(i, q, s*aip+c*aiq)
+	}
+	for j := 0; j < n; j++ {
+		apj, aqj := a.At(p, j), a.At(q, j)
+		a.Set(p, j, c*apj-s*aqj)
+		a.Set(q, j, s*apj+c*aqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// offDiagonalNorm returns the Frobenius norm of the strictly upper
+// triangle of a symmetric matrix, the Jacobi convergence measure.
+func offDiagonalNorm(m *Matrix) float64 {
+	var sum float64
+	n := m.Rows()
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			x := m.At(i, j)
+			sum += x * x
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// canonicalSign flips an eigenvector so that its largest-magnitude
+// component is positive, making decompositions deterministic across runs
+// (eigenvectors are only defined up to sign).
+func canonicalSign(v []float64) []float64 {
+	maxAbs, maxIdx := 0.0, 0
+	for i, x := range v {
+		if math.Abs(x) > maxAbs {
+			maxAbs = math.Abs(x)
+			maxIdx = i
+		}
+	}
+	if v[maxIdx] < 0 {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+	return v
+}

@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feature is a datacenter-improving change under evaluation: a pure
+// transform from a baseline machine configuration to the configuration
+// with the feature applied (Table 4). Features in this catalog do not
+// change the machine's *shape* (core count, RAM capacity), matching the
+// paper's stated scope (Sec 2).
+type Feature struct {
+	Name        string // short identifier, e.g. "feature1"
+	Description string // what changes, e.g. "LLC 30MB -> 12MB per socket"
+
+	// Apply returns cfg with the feature's settings applied. It must not
+	// modify cfg (Config is a value type, so this holds by construction).
+	Apply func(cfg Config) Config
+}
+
+// Baseline returns the identity feature (Table 4's baseline row): 30 MB
+// LLC/socket, 1.2-2.9 GHz, Hyper-Threading enabled on the default shape.
+func Baseline() Feature {
+	return Feature{
+		Name:        "baseline",
+		Description: "stock configuration (full LLC, full clock range, SMT on)",
+		Apply:       func(cfg Config) Config { return cfg },
+	}
+}
+
+// CacheSizing returns Feature 1: shrink the effective LLC to llcMBPerSocket
+// per socket via Cache Allocation Technology (paper: 30MB -> 12MB).
+func CacheSizing(llcMBPerSocket float64) Feature {
+	return Feature{
+		Name:        "feature1",
+		Description: fmt.Sprintf("cache sizing: %gMB LLC per socket", llcMBPerSocket),
+		Apply: func(cfg Config) Config {
+			cfg.LLCMB = math.Min(cfg.Shape.TotalLLCMB(), float64(cfg.Shape.Sockets)*llcMBPerSocket)
+			return cfg
+		},
+	}
+}
+
+// DVFSCap returns Feature 2: cap the DVFS range at maxGHz (paper: 2.9 ->
+// 1.8 GHz).
+func DVFSCap(maxGHz float64) Feature {
+	return Feature{
+		Name:        "feature2",
+		Description: fmt.Sprintf("DVFS policy: clock capped at %.1fGHz", maxGHz),
+		Apply: func(cfg Config) Config {
+			cfg.MaxFreqGHz = math.Max(cfg.Shape.BaseFreqGHz, math.Min(cfg.Shape.MaxFreqGHz, maxGHz))
+			return cfg
+		},
+	}
+}
+
+// SMTOff returns Feature 3: disable Hyper-Threading.
+func SMTOff() Feature {
+	return Feature{
+		Name:        "feature3",
+		Description: "SMT configuration: Hyper-Threading disabled",
+		Apply: func(cfg Config) Config {
+			cfg.SMTEnabled = false
+			return cfg
+		},
+	}
+}
+
+// PaperFeatures returns the paper's three evaluation features (Table 4)
+// in order: cache sizing to 12 MB/socket, DVFS cap at 1.8 GHz, SMT off.
+func PaperFeatures() []Feature {
+	return []Feature{
+		CacheSizing(12),
+		DVFSCap(1.8),
+		SMTOff(),
+	}
+}

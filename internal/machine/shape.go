@@ -1,0 +1,104 @@
+// Package machine models datacenter machine shapes (the paper's Tables 2
+// and 5) and the datacenter-improving features under evaluation (Table 4):
+// cache sizing, DVFS policy, and SMT configuration.
+//
+// A Shape is hardware: immutable once built. A Config is a Shape plus the
+// tunables a feature can change (LLC capacity, max clock, SMT). Features
+// are pure Config -> Config transforms, so applying one never mutates
+// shared state.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shape describes a machine SKU.
+type Shape struct {
+	Name           string  // e.g. "default", "small"
+	CPUModel       string  // marketing name, reported by the profiler
+	Sockets        int     // CPU packages
+	CoresPerSocket int     // physical cores per package
+	ThreadsPerCore int     // hardware threads per core (2 = SMT-capable)
+	LLCMBPerSocket float64 // last-level cache per package, MB
+	DRAMGB         float64 // installed memory
+	MemBWGBps      float64 // aggregate sustainable memory bandwidth
+	MemChannels    int     // DDR channels per socket
+	BaseFreqGHz    float64 // minimum DVFS operating point
+	MaxFreqGHz     float64 // maximum DVFS operating point
+	NetworkGbps    float64 // NIC line rate
+	DiskMBps       float64 // sustained storage bandwidth
+}
+
+// Validate checks shape invariants.
+func (s Shape) Validate() error {
+	switch {
+	case s.Name == "":
+		return errors.New("machine: shape has empty name")
+	case s.Sockets <= 0 || s.CoresPerSocket <= 0:
+		return fmt.Errorf("machine: shape %s has non-positive socket/core counts", s.Name)
+	case s.ThreadsPerCore < 1 || s.ThreadsPerCore > 2:
+		return fmt.Errorf("machine: shape %s has threads-per-core %d, want 1 or 2", s.Name, s.ThreadsPerCore)
+	case s.LLCMBPerSocket <= 0:
+		return fmt.Errorf("machine: shape %s has non-positive LLC", s.Name)
+	case s.DRAMGB <= 0:
+		return fmt.Errorf("machine: shape %s has non-positive DRAM", s.Name)
+	case s.MemBWGBps <= 0:
+		return fmt.Errorf("machine: shape %s has non-positive memory bandwidth", s.Name)
+	case s.BaseFreqGHz <= 0 || s.MaxFreqGHz < s.BaseFreqGHz:
+		return fmt.Errorf("machine: shape %s has invalid frequency range [%v, %v]", s.Name, s.BaseFreqGHz, s.MaxFreqGHz)
+	case s.NetworkGbps <= 0 || s.DiskMBps <= 0:
+		return fmt.Errorf("machine: shape %s has non-positive I/O capacity", s.Name)
+	}
+	return nil
+}
+
+// PhysicalCores returns the total physical core count.
+func (s Shape) PhysicalCores() int { return s.Sockets * s.CoresPerSocket }
+
+// HWThreads returns the total hardware thread (vCPU) count with SMT on.
+func (s Shape) HWThreads() int { return s.PhysicalCores() * s.ThreadsPerCore }
+
+// TotalLLCMB returns the machine-wide LLC capacity in MB.
+func (s Shape) TotalLLCMB() float64 { return float64(s.Sockets) * s.LLCMBPerSocket }
+
+// DefaultShape returns the paper's Table 2 machine: a dual-socket Intel
+// Xeon E5-2650 v4 with 24 vCPUs per socket, 256 GB DDR4-2400, and 30 MB
+// LLC per socket.
+func DefaultShape() Shape {
+	return Shape{
+		Name:           "default",
+		CPUModel:       "Intel Xeon E5-2650 v4",
+		Sockets:        2,
+		CoresPerSocket: 12,
+		ThreadsPerCore: 2,
+		LLCMBPerSocket: 30,
+		DRAMGB:         256,
+		MemBWGBps:      68, // 4x DDR4-2400 channels/socket, sustained
+		MemChannels:    4,
+		BaseFreqGHz:    1.2,
+		MaxFreqGHz:     2.9,
+		NetworkGbps:    10,
+		DiskMBps:       500,
+	}
+}
+
+// SmallShape returns the paper's Table 5 "Small" machine: a dual-socket
+// Intel Xeon E5-2640 v3 with 16 vCPUs per socket and 128 GB DDR4-2133.
+func SmallShape() Shape {
+	return Shape{
+		Name:           "small",
+		CPUModel:       "Intel Xeon E5-2640 v3",
+		Sockets:        2,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 2,
+		LLCMBPerSocket: 20,
+		DRAMGB:         128,
+		MemBWGBps:      56, // 4x DDR4-2133 channels/socket, sustained
+		MemChannels:    4,
+		BaseFreqGHz:    1.2,
+		MaxFreqGHz:     2.6,
+		NetworkGbps:    10,
+		DiskMBps:       460,
+	}
+}

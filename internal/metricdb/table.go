@@ -1,0 +1,287 @@
+// Package metricdb implements the Profiler's storage backend: a small
+// in-memory relational store with typed columns, predicate queries, and
+// JSON persistence, standing in for the paper's "relational database"
+// that records collected statistics along with the commands and
+// configurations of running jobs (Sec 4.2).
+package metricdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ColType is the type of a table column.
+type ColType int
+
+// Column types.
+const (
+	TypeFloat ColType = iota + 1
+	TypeInt
+	TypeString
+)
+
+// String names the column type.
+func (t ColType) String() string {
+	switch t {
+	case TypeFloat:
+		return "float"
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string  `json:"name"`
+	Type ColType `json:"type"`
+}
+
+// Value is a dynamically typed cell. Exactly the field matching the
+// column's type is meaningful.
+type Value struct {
+	F float64 `json:"f,omitempty"`
+	I int64   `json:"i,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+// Float wraps a float value.
+func Float(f float64) Value { return Value{F: f} }
+
+// Int wraps an int value.
+func Int(i int64) Value { return Value{I: i} }
+
+// String wraps a string value.
+func String(s string) Value { return Value{S: s} }
+
+// Row is one record, with cells parallel to the table's columns.
+type Row []Value
+
+// Table is a typed, append-only relation. It is safe for concurrent use:
+// inserts take the write lock, queries the read lock.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	columns []Column
+	colIdx  map[string]int
+	rows    []Row
+}
+
+// NewTable creates a table with the given schema. Column names must be
+// unique and non-empty.
+func NewTable(name string, columns []Column) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("metricdb: empty table name")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("metricdb: table %s has no columns", name)
+	}
+	t := &Table{
+		name:    name,
+		columns: make([]Column, len(columns)),
+		colIdx:  make(map[string]int, len(columns)),
+	}
+	copy(t.columns, columns)
+	for i, c := range t.columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("metricdb: table %s column %d has empty name", name, i)
+		}
+		if c.Type < TypeFloat || c.Type > TypeString {
+			return nil, fmt.Errorf("metricdb: table %s column %s has invalid type", name, c.Name)
+		}
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("metricdb: table %s has duplicate column %s", name, c.Name)
+		}
+		t.colIdx[c.Name] = i
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns a copy of the schema.
+func (t *Table) Columns() []Column {
+	out := make([]Column, len(t.columns))
+	copy(out, t.columns)
+	return out
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row. The row must have exactly one cell per column.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.columns) {
+		return fmt.Errorf("metricdb: table %s insert with %d cells, want %d", t.name, len(r), len(t.columns))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := make(Row, len(r))
+	copy(cp, r)
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or an error.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("metricdb: table %s has no column %s", t.name, name)
+	}
+	return i, nil
+}
+
+// Select returns copies of all rows matching the predicate (nil matches
+// everything), in insertion order.
+func (t *Table) Select(where func(Row) bool) []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Row
+	for _, r := range t.rows {
+		if where == nil || where(r) {
+			cp := make(Row, len(r))
+			copy(cp, r)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// Floats projects the named float column from rows matching the
+// predicate.
+func (t *Table) Floats(column string, where func(Row) bool) ([]float64, error) {
+	i, err := t.ColumnIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	if t.columns[i].Type != TypeFloat {
+		return nil, fmt.Errorf("metricdb: column %s.%s is %s, not float", t.name, column, t.columns[i].Type)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []float64
+	for _, r := range t.rows {
+		if where == nil || where(r) {
+			out = append(out, r[i].F)
+		}
+	}
+	return out, nil
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a new table. It fails if the name already exists.
+func (db *DB) CreateTable(name string, columns []Column) (*Table, error) {
+	t, err := NewTable(name, columns)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("metricdb: table %s already exists", name)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("metricdb: no table %s", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dump is the JSON persistence schema.
+type dump struct {
+	Tables []tableDump `json:"tables"`
+}
+
+type tableDump struct {
+	Name    string   `json:"name"`
+	Columns []Column `json:"columns"`
+	Rows    []Row    `json:"rows"`
+}
+
+// WriteJSON serialises the whole database.
+func (db *DB) WriteJSON(w io.Writer) error {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var d dump
+	for _, n := range names {
+		t := db.tables[n]
+		t.mu.RLock()
+		td := tableDump{Name: t.name, Columns: t.Columns(), Rows: make([]Row, len(t.rows))}
+		copy(td.Rows, t.rows)
+		t.mu.RUnlock()
+		d.Tables = append(d.Tables, td)
+	}
+	db.mu.RUnlock()
+
+	if err := json.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("metricdb: encoding database: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserialises a database written by WriteJSON.
+func ReadJSON(r io.Reader) (*DB, error) {
+	var d dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("metricdb: decoding database: %w", err)
+	}
+	db := NewDB()
+	for _, td := range d.Tables {
+		t, err := db.CreateTable(td.Name, td.Columns)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range td.Rows {
+			if err := t.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,184 @@
+package metricdb
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func sampleSchema() []Column {
+	return []Column{
+		{Name: "scenario", Type: TypeInt},
+		{Name: "metric", Type: TypeString},
+		{Name: "value", Type: TypeFloat},
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", sampleSchema()); err == nil {
+		t.Error("empty table name did not error")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("no columns did not error")
+	}
+	if _, err := NewTable("t", []Column{{Name: "", Type: TypeFloat}}); err == nil {
+		t.Error("empty column name did not error")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a", Type: 0}}); err == nil {
+		t.Error("invalid column type did not error")
+	}
+	dup := []Column{{Name: "a", Type: TypeFloat}, {Name: "a", Type: TypeInt}}
+	if _, err := NewTable("t", dup); err == nil {
+		t.Error("duplicate column did not error")
+	}
+}
+
+func TestInsertAndSelect(t *testing.T) {
+	tbl, err := NewTable("samples", sampleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{Int(1), String("MIPS"), Float(1000)},
+		{Int(1), String("IPC"), Float(0.9)},
+		{Int(2), String("MIPS"), Float(800)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tbl.Len())
+	}
+
+	got := tbl.Select(func(r Row) bool { return r[0].I == 1 })
+	if len(got) != 2 {
+		t.Errorf("Select scenario=1 returned %d rows, want 2", len(got))
+	}
+	all := tbl.Select(nil)
+	if len(all) != 3 {
+		t.Errorf("Select(nil) returned %d rows, want 3", len(all))
+	}
+}
+
+func TestInsertWrongArity(t *testing.T) {
+	tbl, _ := NewTable("samples", sampleSchema())
+	if err := tbl.Insert(Row{Int(1)}); err == nil {
+		t.Error("short row did not error")
+	}
+}
+
+func TestSelectReturnsCopies(t *testing.T) {
+	tbl, _ := NewTable("samples", sampleSchema())
+	if err := tbl.Insert(Row{Int(1), String("MIPS"), Float(5)}); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Select(nil)
+	got[0][2] = Float(99)
+	again := tbl.Select(nil)
+	if again[0][2].F != 5 {
+		t.Error("Select exposed internal row storage")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	tbl, _ := NewTable("samples", sampleSchema())
+	_ = tbl.Insert(Row{Int(1), String("MIPS"), Float(10)})
+	_ = tbl.Insert(Row{Int(2), String("MIPS"), Float(20)})
+
+	vals, err := tbl.Floats("value", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 10 || vals[1] != 20 {
+		t.Errorf("Floats = %v, want [10 20]", vals)
+	}
+
+	if _, err := tbl.Floats("metric", nil); err == nil {
+		t.Error("Floats on string column did not error")
+	}
+	if _, err := tbl.Floats("nosuch", nil); err == nil {
+		t.Error("Floats on missing column did not error")
+	}
+}
+
+func TestDBCreateAndLookup(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("a", sampleSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a", sampleSchema()); err == nil {
+		t.Error("duplicate table did not error")
+	}
+	if _, err := db.Table("a"); err != nil {
+		t.Errorf("Table(a) errored: %v", err)
+	}
+	if _, err := db.Table("b"); err == nil {
+		t.Error("missing table did not error")
+	}
+	if _, err := db.CreateTable("b", sampleSchema()); err != nil {
+		t.Fatal(err)
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("TableNames = %v, want [a b]", names)
+	}
+}
+
+func TestDBJSONRoundTrip(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.CreateTable("samples", sampleSchema())
+	_ = tbl.Insert(Row{Int(7), String("IPC"), Float(1.25)})
+
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := back.Table("samples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Select(nil)
+	if len(rows) != 1 {
+		t.Fatalf("round trip lost rows: %d", len(rows))
+	}
+	if rows[0][0].I != 7 || rows[0][1].S != "IPC" || rows[0][2].F != 1.25 {
+		t.Errorf("round-trip row = %+v", rows[0])
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("nope")); err == nil {
+		t.Error("garbage input did not error")
+	}
+}
+
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	tbl, _ := NewTable("samples", sampleSchema())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = tbl.Insert(Row{Int(int64(g)), String("MIPS"), Float(float64(i))})
+				tbl.Select(func(r Row) bool { return r[0].I == int64(g) })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Len() != 800 {
+		t.Errorf("concurrent inserts lost rows: %d, want 800", tbl.Len())
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if TypeFloat.String() != "float" || TypeInt.String() != "int" || TypeString.String() != "string" {
+		t.Error("ColType.String wrong")
+	}
+}

@@ -1,0 +1,304 @@
+// Package metrics defines the raw performance/resource metric catalog the
+// Profiler collects (the paper's Figure 6) and the extraction of metric
+// vectors from modelled machine results.
+//
+// Metrics come in two collection levels (Sec 4.2): Machine-level (the sum
+// or instruction-weighted mean over every job on the machine) and HP-level
+// (the same aggregation restricted to High Priority jobs). The two-level
+// scheme is what lets the Analyzer describe colocations as "HP jobs doing
+// X on a machine doing Y".
+//
+// The catalog deliberately contains derived duplicates (memory bandwidth
+// is a fixed multiple of LLC miss rate, CPI is the reciprocal of IPC, …)
+// because the paper's refinement step exists precisely to find and drop
+// such redundancies (100+ raw metrics -> ~85).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is the collection level of a metric.
+type Level int
+
+// Collection levels.
+const (
+	LevelMachine Level = iota + 1 // aggregated over all jobs on the machine
+	LevelHP                       // aggregated over High Priority jobs only
+)
+
+// String returns "Machine" or "HP".
+func (l Level) String() string {
+	switch l {
+	case LevelMachine:
+		return "Machine"
+	case LevelHP:
+		return "HP"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Source identifies the monitoring facility a metric comes from, mirroring
+// the paper's Profiler implementation (perf counters, Intel topdown,
+// /proc filesystem).
+type Source int
+
+// Metric sources.
+const (
+	SourcePerf    Source = iota + 1 // hardware performance counters
+	SourceTopdown                   // top-down bottleneck analysis
+	SourceProc                      // /proc filesystem and cgroup stats
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourcePerf:
+		return "perf"
+	case SourceTopdown:
+		return "topdown"
+	case SourceProc:
+		return "/proc"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Def describes one raw metric.
+type Def struct {
+	Name   string // unique, e.g. "LLC-MPKI-HP"
+	Level  Level
+	Source Source
+	Unit   string
+	Desc   string
+	// Tags attribute microarchitectural meaning, used by the PCA labeller
+	// to interpret principal components (Fig 8).
+	Tags []string
+}
+
+// Catalog is an ordered, immutable collection of metric definitions.
+type Catalog struct {
+	defs   []Def
+	byName map[string]int
+}
+
+// NewCatalog builds a catalog, rejecting duplicate or empty names.
+func NewCatalog(defs []Def) (*Catalog, error) {
+	c := &Catalog{
+		defs:   make([]Def, len(defs)),
+		byName: make(map[string]int, len(defs)),
+	}
+	copy(c.defs, defs)
+	for i, d := range c.defs {
+		if d.Name == "" {
+			return nil, fmt.Errorf("metrics: metric %d has empty name", i)
+		}
+		if _, dup := c.byName[d.Name]; dup {
+			return nil, fmt.Errorf("metrics: duplicate metric %q", d.Name)
+		}
+		c.byName[d.Name] = i
+	}
+	return c, nil
+}
+
+// Len returns the number of metrics.
+func (c *Catalog) Len() int { return len(c.defs) }
+
+// Names returns metric names in catalog order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.defs))
+	for i, d := range c.defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Lookup returns the definition of the named metric.
+func (c *Catalog) Lookup(name string) (Def, error) {
+	i, ok := c.byName[name]
+	if !ok {
+		return Def{}, fmt.Errorf("metrics: unknown metric %q", name)
+	}
+	return c.defs[i], nil
+}
+
+// Index returns the catalog position of the named metric, or -1.
+func (c *Catalog) Index(name string) int {
+	i, ok := c.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Defs returns a copy of the definitions in catalog order.
+func (c *Catalog) Defs() []Def {
+	out := make([]Def, len(c.defs))
+	copy(out, c.defs)
+	return out
+}
+
+// DefaultCatalog returns the full two-level raw metric catalog. Every
+// base metric exists at both Machine and HP level; derived duplicates are
+// marked in their description.
+func DefaultCatalog() *Catalog {
+	var defs []Def
+	for _, level := range []Level{LevelMachine, LevelHP} {
+		defs = append(defs, levelDefs(level)...)
+	}
+	defs = append(defs, globalDefs()...)
+	c, err := NewCatalog(defs)
+	if err != nil {
+		// The default defs are compile-time constants validated by tests.
+		panic(fmt.Sprintf("metrics: default catalog invalid: %v", err))
+	}
+	return c
+}
+
+// suffix appends the level suffix to a base metric name.
+func suffix(base string, level Level) string {
+	return base + "-" + level.String()
+}
+
+// stdSuffix marks temporal-variability twins ("IPC: 1.4±0.5", Sec 4.1).
+const stdSuffix = "-Std"
+
+// StdOf reports whether name is a variability metric and returns the base
+// metric it summarises.
+func StdOf(name string) (base string, ok bool) {
+	if len(name) > len(stdSuffix) && strings.HasSuffix(name, stdSuffix) {
+		return name[:len(name)-len(stdSuffix)], true
+	}
+	return "", false
+}
+
+// VariabilityBases lists the metrics whose temporal standard deviation is
+// worth logging: the throughput- and pressure-level counters that swing
+// with request-rate phases.
+func VariabilityBases() []string {
+	return []string{"MIPS", "IPC", "LLC-MPKI", "MemBW", "CPUUtil", "NetworkBW", "CtxSwitches"}
+}
+
+// WithVariability returns a new catalog extending base with "-Std" twins
+// of the VariabilityBases at both collection levels — the paper's
+// optional temporal/phase enrichment (Sec 4.1). The twins inherit the
+// base metric's source and tags plus a "temporal" tag.
+func WithVariability(base *Catalog) (*Catalog, error) {
+	defs := base.Defs()
+	for _, root := range VariabilityBases() {
+		for _, lv := range []Level{LevelMachine, LevelHP} {
+			name := suffix(root, lv)
+			orig, err := base.Lookup(name)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: variability base %s missing: %w", name, err)
+			}
+			defs = append(defs, Def{
+				Name:   name + stdSuffix,
+				Level:  lv,
+				Source: orig.Source,
+				Unit:   orig.Unit,
+				Desc:   "temporal stddev of " + name + " across samples",
+				Tags:   append(append([]string{}, orig.Tags...), "temporal"),
+			})
+		}
+	}
+	return NewCatalog(defs)
+}
+
+// levelDefs instantiates the per-level metric family.
+func levelDefs(lv Level) []Def {
+	d := func(base string, src Source, unit, desc string, tags ...string) Def {
+		return Def{Name: suffix(base, lv), Level: lv, Source: src, Unit: unit, Desc: desc, Tags: tags}
+	}
+	return []Def{
+		// Core throughput counters.
+		d("MIPS", SourcePerf, "Minstr/s", "instruction throughput", "throughput"),
+		d("IPC", SourcePerf, "instr/cycle", "instructions per cycle", "throughput"),
+		d("CPI", SourcePerf, "cycle/instr", "cycles per instruction (derived: 1/IPC)", "throughput"),
+		d("InstrPerSec", SourcePerf, "instr/s", "retired instructions per second (derived: MIPS*1e6)", "throughput"),
+		d("EffFreq", SourcePerf, "GHz", "effective core frequency", "frequency"),
+
+		// Cache hierarchy.
+		d("LLC-APKI", SourcePerf, "acc/kinstr", "LLC accesses per kilo-instruction", "llc"),
+		d("LLC-MPKI", SourcePerf, "miss/kinstr", "LLC misses per kilo-instruction", "llc", "memory"),
+		d("LLC-MissRatio", SourcePerf, "ratio", "LLC miss ratio (derived: MPKI/APKI)", "llc", "memory"),
+		d("LLC-MissesPerSec", SourcePerf, "miss/s", "LLC misses per second (derived: MIPS*MPKI*1e3)", "llc", "memory"),
+		d("LLC-Occupancy", SourcePerf, "MB", "LLC capacity occupied", "llc"),
+		d("L1-MPKI", SourcePerf, "miss/kinstr", "L1D misses per kilo-instruction", "l1"),
+		d("L2-MPKI", SourcePerf, "miss/kinstr", "L2 misses per kilo-instruction", "l2"),
+
+		// Branching.
+		d("Branch-MPKI", SourcePerf, "miss/kinstr", "branch mispredictions per kilo-instruction", "branch", "frontend"),
+		d("BranchMissesPerSec", SourcePerf, "miss/s", "branch misses per second (derived)", "branch", "frontend"),
+
+		// Top-down bottleneck analysis.
+		d("TD-Frontend", SourceTopdown, "frac", "frontend-bound slot fraction", "frontend"),
+		d("TD-BadSpec", SourceTopdown, "frac", "bad-speculation slot fraction", "speculation"),
+		d("TD-Backend", SourceTopdown, "frac", "backend-bound slot fraction", "backend", "memory"),
+		d("TD-Retiring", SourceTopdown, "frac", "retiring slot fraction", "retiring"),
+
+		// Memory system.
+		d("MemBW", SourceProc, "GB/s", "DRAM bandwidth consumed", "membw", "memory"),
+		d("MemBW-Bytes", SourceProc, "B/s", "DRAM traffic (derived: MemBW*1e9)", "membw", "memory"),
+		d("MemReadBW", SourceProc, "GB/s", "DRAM read bandwidth (derived: 0.6*MemBW)", "membw", "memory"),
+		d("MemWriteBW", SourceProc, "GB/s", "DRAM write bandwidth (derived: 0.4*MemBW)", "membw", "memory"),
+
+		// CPU accounting.
+		d("CPUUtil", SourceProc, "frac", "vCPU time used / machine vCPUs", "cpu"),
+		d("VCPUs", SourceProc, "count", "vCPUs requested by resident instances", "cpu", "occupancy"),
+		d("Instances", SourceProc, "count", "resident job instances", "occupancy"),
+		d("MIPSPerVCPU", SourcePerf, "Minstr/s", "throughput per vCPU (derived: MIPS/VCPUs)", "throughput", "cpu"),
+
+		// I/O.
+		d("NetworkBW", SourceProc, "Mb/s", "NIC bandwidth consumed", "network"),
+		d("DiskBW", SourceProc, "MB/s", "storage bandwidth consumed", "disk"),
+
+		// OS-level activity.
+		d("CtxSwitches", SourceProc, "1/s", "context switches per second", "os"),
+		d("PageFaults", SourceProc, "1/s", "page faults per second", "os", "memory"),
+		d("CtxSwitchPerKInstr", SourceProc, "1/kinstr", "context switches per kilo-instruction (derived)", "os"),
+		d("PageFaultPerKInstr", SourceProc, "1/kinstr", "page faults per kilo-instruction (derived)", "os", "memory"),
+
+		// Additional counter-derived rates and proxies.
+		d("LLC-AccessesPerSec", SourcePerf, "acc/s", "LLC accesses per second (derived: MIPS*APKI*1e3)", "llc"),
+		d("L1-MissesPerSec", SourcePerf, "miss/s", "L1D misses per second (derived)", "l1"),
+		d("L2-MissesPerSec", SourcePerf, "miss/s", "L2 misses per second (derived)", "l2"),
+		d("LLC-HitRatio", SourcePerf, "ratio", "LLC hit ratio (derived: 1-MissRatio)", "llc"),
+		d("StallFrac", SourceTopdown, "frac", "non-retiring slot fraction (derived: 1-Retiring)", "backend"),
+		d("ICache-MPKI", SourcePerf, "miss/kinstr", "instruction cache MPKI (frontend-pressure proxy)", "frontend", "l1"),
+		d("DTLB-MPKI", SourcePerf, "miss/kinstr", "data TLB MPKI (paging-pressure proxy)", "memory", "os"),
+		d("SpecWastePerSec", SourcePerf, "slot/s", "wasted speculation slots per second (derived)", "speculation"),
+		d("MIPSPerInstance", SourcePerf, "Minstr/s", "mean per-instance throughput (derived)", "throughput"),
+		d("MemBWPerInstance", SourceProc, "GB/s", "mean per-instance DRAM traffic (derived)", "membw", "memory"),
+		d("SMTFactor", SourcePerf, "frac", "mean per-thread SMT throughput factor", "smt", "cpu"),
+		d("CPUShare", SourceProc, "frac", "mean granted vCPU time share", "cpu"),
+		d("CyclesPerSec", SourcePerf, "cycle/s", "active core cycles per second (derived)", "frequency", "cpu"),
+		d("MemStallFrac", SourceTopdown, "frac", "memory-stall slot share (backend proxy)", "memory", "backend"),
+	}
+}
+
+// globalDefs instantiates metrics without a per-class split.
+func globalDefs() []Def {
+	return []Def{
+		{Name: "MemBWUtil", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "memory bandwidth utilisation", Tags: []string{"membw", "memory"}},
+		{Name: "NetworkUtil", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "NIC utilisation", Tags: []string{"network"}},
+		{Name: "DiskUtil", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "storage utilisation", Tags: []string{"disk"}},
+		{Name: "JobTypes", Level: LevelMachine, Source: SourceProc, Unit: "count",
+			Desc: "distinct job types resident", Tags: []string{"occupancy"}},
+		{Name: "HPShare", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "fraction of instances that are HP", Tags: []string{"occupancy"}},
+		{Name: "OccupancyFrac", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "vCPUs occupied / machine vCPUs (derived from VCPUs-Machine)", Tags: []string{"occupancy", "cpu"}},
+		{Name: "FreqRatio", Level: LevelMachine, Source: SourceProc, Unit: "frac",
+			Desc: "configured clock cap / stock max clock", Tags: []string{"frequency"}},
+		{Name: "LLCConfigMB", Level: LevelMachine, Source: SourceProc, Unit: "MB",
+			Desc: "configured LLC capacity", Tags: []string{"llc"}},
+		{Name: "MemLatencyEst", Level: LevelMachine, Source: SourceProc, Unit: "ns",
+			Desc: "estimated loaded memory latency (from bandwidth utilisation)", Tags: []string{"memory", "membw"}},
+	}
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"fmt"
+
+	"flare/internal/machine"
+	"flare/internal/mathx"
+	"flare/internal/perfmodel"
+	"flare/internal/workload"
+)
+
+// Vector is a named metric observation for one scenario, in catalog order.
+type Vector struct {
+	Names  []string  // metric names (shared with the catalog)
+	Values []float64 // parallel values
+}
+
+// Get returns the value of the named metric.
+func (v Vector) Get(name string) (float64, error) {
+	for i, n := range v.Names {
+		if n == name {
+			return v.Values[i], nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: vector has no metric %q", name)
+}
+
+// Extract computes the full raw metric vector for one modelled colocation
+// result on the given machine configuration.
+func Extract(c *Catalog, cfg machine.Config, res perfmodel.Result) Vector {
+	v := Vector{
+		Names:  c.Names(),
+		Values: make([]float64, c.Len()),
+	}
+	machineAgg := aggregate(res.Jobs, func(perfmodel.JobPerf) bool { return true })
+	hpAgg := aggregate(res.Jobs, func(j perfmodel.JobPerf) bool { return j.Class == workload.ClassHP })
+
+	for i, def := range c.Defs() {
+		if _, isStd := StdOf(def.Name); isStd {
+			// Variability metrics summarise *across* samples; the
+			// profiler fills them from repeated extractions.
+			continue
+		}
+		switch def.Level {
+		case LevelHP:
+			v.Values[i] = levelValue(def.Name, hpAgg, cfg)
+		default:
+			v.Values[i] = globalValue(def.Name, machineAgg, hpAgg, cfg, res)
+		}
+	}
+	return v
+}
+
+// agg holds class-filtered aggregates: sums for extensive quantities and
+// instruction-weighted means for intensive ones.
+type agg struct {
+	instances int
+	jobTypes  int
+	vcpus     int
+
+	mips      float64 // total
+	memBW     float64 // total GB/s
+	networkBW float64 // total Mb/s
+	diskBW    float64 // total MB/s
+	ctx       float64 // total 1/s
+	faults    float64 // total 1/s
+	llcOccup  float64 // total MB
+
+	ipc      float64 // weighted
+	freq     float64 // weighted
+	apki     float64 // weighted
+	mpki     float64 // weighted
+	l1       float64 // weighted
+	l2       float64 // weighted
+	branch   float64 // weighted
+	fe       float64 // weighted
+	bs       float64 // weighted
+	be       float64 // weighted
+	rt       float64 // weighted
+	smt      float64 // weighted
+	cpuShare float64 // weighted
+}
+
+func aggregate(jobs []perfmodel.JobPerf, include func(perfmodel.JobPerf) bool) agg {
+	var a agg
+	var w float64
+	for _, j := range jobs {
+		if !include(j) {
+			continue
+		}
+		n := float64(j.Instances)
+		total := j.MIPS * n
+		a.instances += j.Instances
+		a.jobTypes++
+		a.vcpus += j.Instances * workload.InstanceVCPUs
+		a.mips += total
+		a.memBW += j.MemBWGBps * n
+		a.networkBW += j.NetworkMbps * n
+		a.diskBW += j.DiskMBps * n
+		a.ctx += j.CtxSwitchPerSec * n
+		a.faults += j.PageFaultPerSec * n
+		a.llcOccup += j.LLCAllocMB * n
+
+		a.ipc += j.IPC * total
+		a.freq += j.EffFreqGHz * total
+		a.apki += j.LLCAPKI * total
+		a.mpki += j.LLCMPKI * total
+		a.l1 += j.L1MPKI * total
+		a.l2 += j.L2MPKI * total
+		a.branch += j.BranchMPKI * total
+		a.fe += j.FrontendBound * total
+		a.bs += j.BadSpeculation * total
+		a.be += j.BackendBound * total
+		a.rt += j.Retiring * total
+		a.smt += j.SMTFactor * total
+		a.cpuShare += j.CPUShare * total
+		w += total
+	}
+	if w > 0 {
+		a.ipc /= w
+		a.freq /= w
+		a.apki /= w
+		a.mpki /= w
+		a.l1 /= w
+		a.l2 /= w
+		a.branch /= w
+		a.fe /= w
+		a.bs /= w
+		a.be /= w
+		a.rt /= w
+		a.smt /= w
+		a.cpuShare /= w
+	}
+	return a
+}
+
+// levelValue computes one per-level metric from a class aggregate. The
+// level suffix has already routed us to the right aggregate, so only the
+// base name matters; unknown names panic because the catalog and this
+// switch must stay in lockstep (tests enforce it).
+func levelValue(name string, a agg, cfg machine.Config) float64 {
+	base := name
+	for _, lv := range []Level{LevelMachine, LevelHP} {
+		s := "-" + lv.String()
+		if len(base) > len(s) && base[len(base)-len(s):] == s {
+			base = base[:len(base)-len(s)]
+			break
+		}
+	}
+	switch base {
+	case "MIPS":
+		return a.mips
+	case "IPC":
+		return a.ipc
+	case "CPI":
+		return mathx.SafeDiv(1, a.ipc, 0)
+	case "InstrPerSec":
+		return a.mips * 1e6
+	case "EffFreq":
+		return a.freq
+	case "LLC-APKI":
+		return a.apki
+	case "LLC-MPKI":
+		return a.mpki
+	case "LLC-MissRatio":
+		return mathx.SafeDiv(a.mpki, a.apki, 0)
+	case "LLC-MissesPerSec":
+		return a.mips * a.mpki * 1e3
+	case "LLC-Occupancy":
+		return a.llcOccup
+	case "L1-MPKI":
+		return a.l1
+	case "L2-MPKI":
+		return a.l2
+	case "Branch-MPKI":
+		return a.branch
+	case "BranchMissesPerSec":
+		return a.mips * a.branch * 1e3
+	case "TD-Frontend":
+		return a.fe
+	case "TD-BadSpec":
+		return a.bs
+	case "TD-Backend":
+		return a.be
+	case "TD-Retiring":
+		return a.rt
+	case "MemBW":
+		return a.memBW
+	case "MemBW-Bytes":
+		return a.memBW * 1e9
+	case "MemReadBW":
+		return 0.6 * a.memBW
+	case "MemWriteBW":
+		return 0.4 * a.memBW
+	case "CPUUtil":
+		return mathx.Clamp01(float64(a.vcpus) * a.cpuShare / float64(cfg.VCPUs()))
+	case "VCPUs":
+		return float64(a.vcpus)
+	case "Instances":
+		return float64(a.instances)
+	case "MIPSPerVCPU":
+		return mathx.SafeDiv(a.mips, float64(a.vcpus), 0)
+	case "NetworkBW":
+		return a.networkBW
+	case "DiskBW":
+		return a.diskBW
+	case "CtxSwitches":
+		return a.ctx
+	case "PageFaults":
+		return a.faults
+	case "CtxSwitchPerKInstr":
+		return mathx.SafeDiv(a.ctx, a.mips*1e3, 0)
+	case "PageFaultPerKInstr":
+		return mathx.SafeDiv(a.faults, a.mips*1e3, 0)
+	case "LLC-AccessesPerSec":
+		return a.mips * a.apki * 1e3
+	case "L1-MissesPerSec":
+		return a.mips * a.l1 * 1e3
+	case "L2-MissesPerSec":
+		return a.mips * a.l2 * 1e3
+	case "LLC-HitRatio":
+		return 1 - mathx.SafeDiv(a.mpki, a.apki, 0)
+	case "StallFrac":
+		return 1 - a.rt
+	case "ICache-MPKI":
+		return 30 * a.fe
+	case "DTLB-MPKI":
+		return 0.05*a.l2 + mathx.SafeDiv(a.faults, a.mips*1e3, 0)*50
+	case "SpecWastePerSec":
+		return a.bs * a.mips * 1e6
+	case "MIPSPerInstance":
+		return mathx.SafeDiv(a.mips, float64(a.instances), 0)
+	case "MemBWPerInstance":
+		return mathx.SafeDiv(a.memBW, float64(a.instances), 0)
+	case "SMTFactor":
+		return a.smt
+	case "CPUShare":
+		return a.cpuShare
+	case "CyclesPerSec":
+		return a.freq * 1e9 * float64(a.vcpus) * a.cpuShare
+	case "MemStallFrac":
+		return 0.7 * a.be
+	default:
+		panic(fmt.Sprintf("metrics: no extractor for metric %q", name))
+	}
+}
+
+// globalValue computes Machine-level metrics, including the handful that
+// have no HP twin.
+func globalValue(name string, machineAgg, hpAgg agg, cfg machine.Config, res perfmodel.Result) float64 {
+	switch name {
+	case "MemBWUtil":
+		return res.Machine.MemBWUtil
+	case "NetworkUtil":
+		return res.Machine.NetworkUtil
+	case "DiskUtil":
+		return res.Machine.DiskUtil
+	case "JobTypes":
+		return float64(machineAgg.jobTypes)
+	case "HPShare":
+		return mathx.SafeDiv(float64(hpAgg.instances), float64(machineAgg.instances), 0)
+	case "OccupancyFrac":
+		return mathx.SafeDiv(float64(machineAgg.vcpus), float64(cfg.VCPUs()), 0)
+	case "FreqRatio":
+		return cfg.FreqRatio()
+	case "LLCConfigMB":
+		return cfg.LLCMB
+	case "MemLatencyEst":
+		// Unloaded ~80ns, growing with bandwidth pressure.
+		u := res.Machine.MemBWUtil
+		return 80 * (1 + 2.2*u*u)
+	default:
+		return levelValue(name, machineAgg, cfg)
+	}
+}

@@ -1,0 +1,38 @@
+package pca
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFitPaperScale fits a PCA at the paper's problem size
+// (~895 scenarios x ~85 refined metrics).
+func BenchmarkFitPaperScale(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := lowRankMatrix(r, 895, 85, 18, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, DefaultVarianceTarget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransformPaperScale projects the population through a fitted
+// model.
+func BenchmarkTransformPaperScale(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	m := lowRankMatrix(r, 895, 85, 18, 0.2)
+	mod, err := Fit(m, DefaultVarianceTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.Transform(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package pca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flare/internal/metrics"
+)
+
+// Contribution is one raw metric's weight in a principal component.
+type Contribution struct {
+	Metric string  // raw metric name
+	Weight float64 // signed loading
+}
+
+// Label is the human-readable interpretation of one PC (the paper's
+// Fig 8): its strongest positive and negative raw-metric contributors and
+// a synthesised description such as
+// "HP memory/llc-heavy (+) vs Machine frontend-bound (-)".
+type Label struct {
+	Index          int
+	Explained      float64
+	TopPositive    []Contribution
+	TopNegative    []Contribution
+	Interpretation string
+}
+
+// LabelComponents interprets the model's selected components against the
+// metric catalog that produced the model's input columns. names must be
+// the column names the model was fitted on (post-refinement), and cat
+// supplies tags/levels for them. topN bounds contributors per sign.
+func LabelComponents(mod *Model, names []string, cat *metrics.Catalog, topN int) ([]Label, error) {
+	if len(names) != len(mod.Means) {
+		return nil, fmt.Errorf("pca: %d names for a model fitted on %d columns", len(names), len(mod.Means))
+	}
+	if topN <= 0 {
+		topN = 5
+	}
+	out := make([]Label, mod.NumPC)
+	for k := 0; k < mod.NumPC; k++ {
+		lbl := Label{Index: k, Explained: mod.Explained[k]}
+		contribs := make([]Contribution, len(names))
+		for j, name := range names {
+			contribs[j] = Contribution{Metric: name, Weight: mod.Components[k][j]}
+		}
+		sort.Slice(contribs, func(a, b int) bool {
+			return abs(contribs[a].Weight) > abs(contribs[b].Weight)
+		})
+		for _, c := range contribs {
+			switch {
+			case c.Weight > 0 && len(lbl.TopPositive) < topN:
+				lbl.TopPositive = append(lbl.TopPositive, c)
+			case c.Weight < 0 && len(lbl.TopNegative) < topN:
+				lbl.TopNegative = append(lbl.TopNegative, c)
+			}
+			if len(lbl.TopPositive) == topN && len(lbl.TopNegative) == topN {
+				break
+			}
+		}
+		lbl.Interpretation = interpret(lbl, cat)
+		out[k] = lbl
+	}
+	return out, nil
+}
+
+// interpret synthesises a description from the tag profile of the top
+// contributors, split by collection level (the two-level insight of the
+// paper: "HP jobs doing X on a machine doing Y").
+func interpret(lbl Label, cat *metrics.Catalog) string {
+	pos := tagSummary(lbl.TopPositive, cat)
+	neg := tagSummary(lbl.TopNegative, cat)
+	switch {
+	case pos != "" && neg != "":
+		return pos + " (+) vs " + neg + " (-)"
+	case pos != "":
+		return pos + " (+)"
+	case neg != "":
+		return neg + " (-)"
+	default:
+		return "mixed behaviour"
+	}
+}
+
+// tagSummary describes a contributor group as "<level> <top tags>".
+func tagSummary(cs []Contribution, cat *metrics.Catalog) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	tagWeight := make(map[string]float64)
+	levelWeight := make(map[string]float64)
+	for _, c := range cs {
+		def, err := cat.Lookup(c.Metric)
+		if err != nil {
+			continue
+		}
+		w := abs(c.Weight)
+		levelWeight[def.Level.String()] += w
+		for _, tag := range def.Tags {
+			tagWeight[tag] += w
+		}
+	}
+	level := heaviest(levelWeight)
+	tags := topTags(tagWeight, 2)
+	if len(tags) == 0 {
+		return level + " behaviour"
+	}
+	return level + " " + strings.Join(tags, "/")
+}
+
+func heaviest(m map[string]float64) string {
+	best, bestW := "", -1.0
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if m[k] > bestW {
+			best, bestW = k, m[k]
+		}
+	}
+	return best
+}
+
+func topTags(m map[string]float64, n int) []string {
+	type kv struct {
+		k string
+		w float64
+	}
+	all := make([]kv, 0, len(m))
+	for k, w := range m {
+		all = append(all, kv{k, w})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].w != all[b].w {
+			return all[a].w > all[b].w
+		}
+		return all[a].k < all[b].k
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.k
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

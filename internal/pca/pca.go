@@ -1,0 +1,144 @@
+// Package pca implements FLARE's high-level metric construction (paper
+// Sec 4.3): standardise the refined metric matrix, extract principal
+// components via eigendecomposition of the covariance matrix, select the
+// smallest component count explaining a target share of variance
+// (Fig 7: 95% -> 18 PCs in the paper), and attribute human-readable
+// interpretations to each component from its loadings (Fig 8).
+package pca
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/linalg"
+	"flare/internal/stats"
+)
+
+// DefaultVarianceTarget is the cumulative explained-variance fraction used
+// to choose the component count (the paper's 95%).
+const DefaultVarianceTarget = 0.95
+
+// Model is a fitted PCA: standardisation parameters plus the component
+// basis, ordered by descending explained variance.
+type Model struct {
+	// Means and Stds standardise input columns; columns with zero Std are
+	// centred only.
+	Means []float64
+	Stds  []float64
+
+	// Components[k] is the loading vector of PC k over the input columns
+	// (unit length, deterministic sign).
+	Components [][]float64
+	// Explained[k] is the fraction of total variance PC k explains.
+	Explained []float64
+	// NumPC is the selected component count (smallest k whose cumulative
+	// explained variance reaches the target).
+	NumPC int
+}
+
+// Fit computes a PCA of m (observations in rows, metrics in columns) and
+// selects components to reach varianceTarget in (0, 1].
+func Fit(m *linalg.Matrix, varianceTarget float64) (*Model, error) {
+	if m == nil {
+		return nil, errors.New("pca: nil matrix")
+	}
+	if varianceTarget <= 0 || varianceTarget > 1 {
+		return nil, fmt.Errorf("pca: variance target %v outside (0, 1]", varianceTarget)
+	}
+	if m.Rows() < 2 {
+		return nil, errors.New("pca: need at least 2 observations")
+	}
+
+	mod := &Model{
+		Means: make([]float64, m.Cols()),
+		Stds:  make([]float64, m.Cols()),
+	}
+	z := linalg.NewMatrix(m.Rows(), m.Cols())
+	for j := 0; j < m.Cols(); j++ {
+		col, mean, std := stats.Standardize(m.Col(j))
+		mod.Means[j] = mean
+		mod.Stds[j] = std
+		for i, v := range col {
+			z.Set(i, j, v)
+		}
+	}
+
+	cov, err := linalg.Covariance(z)
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+	eig, err := linalg.SymmetricEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+
+	var total float64
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return nil, errors.New("pca: input has zero total variance")
+	}
+
+	mod.Components = eig.Vectors
+	mod.Explained = make([]float64, len(eig.Values))
+	for k, v := range eig.Values {
+		if v > 0 {
+			mod.Explained[k] = v / total
+		}
+	}
+
+	cum := 0.0
+	mod.NumPC = len(mod.Explained)
+	for k, e := range mod.Explained {
+		cum += e
+		if cum >= varianceTarget {
+			mod.NumPC = k + 1
+			break
+		}
+	}
+	return mod, nil
+}
+
+// Transform projects observations (rows of m, in the original metric
+// space) onto the selected principal components, returning a
+// rows x NumPC matrix of PC scores.
+func (mod *Model) Transform(m *linalg.Matrix) (*linalg.Matrix, error) {
+	if m.Cols() != len(mod.Means) {
+		return nil, fmt.Errorf("pca: input has %d columns, model was fitted on %d", m.Cols(), len(mod.Means))
+	}
+	out := linalg.NewMatrix(m.Rows(), mod.NumPC)
+	row := make([]float64, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			v := m.At(i, j) - mod.Means[j]
+			if mod.Stds[j] > 0 {
+				v /= mod.Stds[j]
+			}
+			row[j] = v
+		}
+		for k := 0; k < mod.NumPC; k++ {
+			var score float64
+			comp := mod.Components[k]
+			for j, v := range row {
+				score += v * comp[j]
+			}
+			out.Set(i, k, score)
+		}
+	}
+	return out, nil
+}
+
+// CumulativeExplained returns the running sum of explained variance, one
+// entry per component (Fig 7's curve).
+func (mod *Model) CumulativeExplained() []float64 {
+	out := make([]float64, len(mod.Explained))
+	var cum float64
+	for k, e := range mod.Explained {
+		cum += e
+		out[k] = cum
+	}
+	return out
+}

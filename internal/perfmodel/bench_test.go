@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"flare/internal/machine"
+	"flare/internal/workload"
+)
+
+// BenchmarkEvaluateSolo measures the fast path: one job alone.
+func BenchmarkEvaluateSolo(b *testing.B) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	p, err := workload.DefaultCatalog().Lookup(workload.WebSearch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := []Assignment{{Profile: p, Instances: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, jobs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateFullMachine measures a saturated colocation: the unit
+// of work behind every scenario evaluation in the pipeline.
+func BenchmarkEvaluateFullMachine(b *testing.B) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	cat := workload.DefaultCatalog()
+	var jobs []Assignment
+	for i, p := range cat.Profiles() {
+		if i >= 6 {
+			break
+		}
+		jobs = append(jobs, Assignment{Profile: p, Instances: 2})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, jobs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateWithNoise measures the profiler's sampling path.
+func BenchmarkEvaluateWithNoise(b *testing.B) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	cat := workload.DefaultCatalog()
+	dc, err := cat.Lookup(workload.DataCaching)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcf, err := cat.Lookup(workload.Mcf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := []Assignment{{Profile: dc, Instances: 4}, {Profile: mcf, Instances: 4}}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, jobs, Options{NoiseStd: 0.02, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

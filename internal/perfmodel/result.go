@@ -1,0 +1,158 @@
+package perfmodel
+
+import (
+	"math"
+
+	"flare/internal/mathx"
+	"flare/internal/workload"
+)
+
+// result materialises the converged state into the public Result type,
+// synthesising the counter values a profiler would report and applying
+// optional measurement noise.
+func (st *state) result(opts Options) Result {
+	res := Result{Jobs: make([]JobPerf, len(st.jobs))}
+
+	for i, a := range st.jobs {
+		p := a.Profile
+		freq := st.cfg.MaxFreqGHz
+		stall := st.stallCPI(i, freq)
+		cpi := st.cal[i].cpiExe + stall
+
+		jp := JobPerf{
+			Job:        p.Name,
+			Class:      p.Class,
+			Instances:  a.Instances,
+			MIPS:       st.mips[i],
+			IPC:        1 / cpi,
+			EffFreqGHz: freq,
+			LLCAllocMB: st.allocMB[i],
+			LLCAPKI:    p.LLCAPKI,
+			LLCMPKI:    st.mpki[i],
+			MemBWGBps:  st.jobBWGBps(i),
+			BranchMPKI: p.BranchMPKI,
+			CPUShare:   st.cpuShare,
+			SMTFactor:  st.smtFac[i],
+		}
+
+		// L1/L2 misses shift modestly with LLC pressure (more LLC misses
+		// imply more refills churning the upper levels).
+		pressure := mathx.SafeDiv(st.mpki[i], p.LLCAPKI, 0)
+		jp.L1MPKI = p.L1MPKI * (1 + 0.10*pressure)
+		jp.L2MPKI = p.L2MPKI * (1 + 0.25*pressure)
+
+		jp.FrontendBound, jp.BadSpeculation, jp.BackendBound, jp.Retiring =
+			topdown(p.FrontendBound, p.BadSpeculation, p.BackendBound, p.Retiring,
+				stall/cpi)
+
+		// I/O throughput follows granted share and load; OS rates follow
+		// delivered activity.
+		load := math.Min(st.activity[i], 1.25)
+		jp.NetworkMbps = p.NetworkMbps * st.netFactor[i] * load
+		jp.DiskMBps = p.DiskMBps * st.dskFactor[i] * load
+		activity := st.cpuShare * st.smtFac[i] * load
+		jp.CtxSwitchPerSec = p.CtxSwitchPerSec * activity
+		jp.PageFaultPerSec = p.PageFaultPerSec * (1 + 0.3*pressure)
+
+		if opts.NoiseStd > 0 {
+			applyNoise(&jp, opts)
+		}
+		res.Jobs[i] = jp
+	}
+
+	res.Machine = st.aggregate(res.Jobs)
+	return res
+}
+
+// topdown redistributes the profile's base top-down fractions under the
+// modelled memory-stall share: memory stalls claim their exact CPI share
+// of backend-bound slots, and the remaining slots keep the base ratios of
+// the other categories.
+func topdown(fe, bs, be, rt, memShare float64) (feOut, bsOut, beOut, rtOut float64) {
+	memShare = mathx.Clamp01(memShare)
+	// A fixed slice of the base backend-bound fraction is core-bound
+	// (ports, divider) rather than memory-bound and survives as-is.
+	coreBE := 0.3 * be
+	rest := fe + bs + rt + coreBE
+	if rest <= 0 {
+		return 0, 0, 1, 0
+	}
+	scale := (1 - memShare) / rest
+	feOut = fe * scale
+	bsOut = bs * scale
+	rtOut = rt * scale
+	beOut = memShare + coreBE*scale
+	return feOut, bsOut, beOut, rtOut
+}
+
+// applyNoise perturbs the measured quantities with multiplicative
+// log-normal noise, correlated within a job the way real measurements are
+// (a slow run is slow in every counter).
+func applyNoise(jp *JobPerf, opts Options) {
+	common := math.Exp(opts.Rand.NormFloat64() * opts.NoiseStd)
+	perCounter := func() float64 {
+		return math.Exp(opts.Rand.NormFloat64() * opts.NoiseStd * 0.4)
+	}
+	jp.MIPS *= common
+	jp.IPC *= common * perCounter()
+	jp.LLCMPKI *= perCounter()
+	jp.L1MPKI *= perCounter()
+	jp.L2MPKI *= perCounter()
+	jp.MemBWGBps *= common * perCounter()
+	jp.NetworkMbps *= perCounter()
+	jp.DiskMBps *= perCounter()
+	jp.CtxSwitchPerSec *= perCounter()
+	jp.PageFaultPerSec *= perCounter()
+}
+
+// aggregate rolls per-job results up to machine level with instruction-
+// weighted averaging for intensive metrics and summing for extensive ones.
+func (st *state) aggregate(jobs []JobPerf) MachinePerf {
+	var m MachinePerf
+	var instrWeight float64 // total MIPS across instances, the weight basis
+
+	for _, jp := range jobs {
+		n := float64(jp.Instances)
+		total := jp.MIPS * n
+		m.TotalMIPS += total
+		if jp.Class == workload.ClassHP {
+			m.HPMIPS += total
+		}
+		instrWeight += total
+
+		m.LLCOccupMB += jp.LLCAllocMB * n
+		m.MemBWGBps += jp.MemBWGBps * n
+		m.NetworkMbps += jp.NetworkMbps * n
+		m.DiskMBps += jp.DiskMBps * n
+		m.CtxSwitchPerSec += jp.CtxSwitchPerSec * n
+		m.PageFaultPerSec += jp.PageFaultPerSec * n
+
+		m.AvgIPC += jp.IPC * total
+		m.LLCMPKI += jp.LLCMPKI * total
+		m.LLCAPKI += jp.LLCAPKI * total
+		m.FrontendBound += jp.FrontendBound * total
+		m.BadSpeculation += jp.BadSpeculation * total
+		m.BackendBound += jp.BackendBound * total
+		m.Retiring += jp.Retiring * total
+
+		m.UsedVCPUs += jp.Instances * 4
+	}
+
+	if instrWeight > 0 {
+		m.AvgIPC /= instrWeight
+		m.LLCMPKI /= instrWeight
+		m.LLCAPKI /= instrWeight
+		m.FrontendBound /= instrWeight
+		m.BadSpeculation /= instrWeight
+		m.BackendBound /= instrWeight
+		m.Retiring /= instrWeight
+	}
+
+	m.EffFreqGHz = st.cfg.MaxFreqGHz
+	granted := math.Min(float64(m.UsedVCPUs), float64(m.UsedVCPUs)*st.cpuShare)
+	m.CPUUtil = mathx.Clamp01(granted / float64(st.cfg.VCPUs()))
+	m.MemBWUtil = mathx.Clamp01(m.MemBWGBps / st.cfg.Shape.MemBWGBps)
+	m.NetworkUtil = mathx.Clamp01(m.NetworkMbps / (st.cfg.Shape.NetworkGbps * 1000))
+	m.DiskUtil = mathx.Clamp01(m.DiskMBps / st.cfg.Shape.DiskMBps)
+	return m
+}

@@ -1,0 +1,245 @@
+// Package profiler implements FLARE's Profiler: the daemon that measures
+// every job-colocation scenario of the datacenter and records averaged
+// performance/resource metrics into the metric database (paper Sec 4.2).
+//
+// On the real system the Profiler runs on every server, periodically
+// sampling perf counters, topdown, and /proc. Here each scenario is
+// "measured" by evaluating the contention model several times with
+// measurement noise and averaging — the same pipeline shape (noisy
+// periodic samples -> per-scenario mean) with the testbed replaced by the
+// model. Scenarios are profiled concurrently by a bounded worker pool.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flare/internal/linalg"
+	"flare/internal/machine"
+	"flare/internal/mathx"
+	"flare/internal/metrics"
+	"flare/internal/perfmodel"
+	"flare/internal/scenario"
+	"flare/internal/stats"
+	"flare/internal/workload"
+)
+
+// Options controls a collection run.
+type Options struct {
+	// SamplesPerScenario is how many noisy measurements are averaged per
+	// scenario (the daemon's periodic samples over the job's >= 30 min
+	// lifetime).
+	SamplesPerScenario int
+	// NoiseStd is the per-sample measurement noise.
+	NoiseStd float64
+	// Seed makes collection reproducible; each scenario derives its own
+	// substream so results do not depend on worker interleaving.
+	Seed int64
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// PhaseStd enables temporal/phase modelling (paper Sec 4.1): each
+	// sample modulates every job's load by a log-normal factor with
+	// deviation PhaseStd * job.PhaseVariability. Zero disables phases.
+	// Combine with a metrics.WithVariability catalog so the resulting
+	// "-Std" metrics capture the swings.
+	PhaseStd float64
+}
+
+// DefaultOptions returns sensible collection settings.
+func DefaultOptions() Options {
+	return Options{
+		SamplesPerScenario: 5,
+		NoiseStd:           0.02,
+		Seed:               1,
+	}
+}
+
+// Dataset is the Profiler's output: one averaged metric vector per
+// scenario, plus per-job throughput observations for the performance
+// ground truth.
+type Dataset struct {
+	Scenarios *scenario.Set
+	Catalog   *metrics.Catalog
+	Config    machine.Config
+
+	// Matrix holds scenarios in rows (by scenario ID) and metrics in
+	// columns (catalog order).
+	Matrix *linalg.Matrix
+
+	// JobMIPS[scenarioID][job] is the measured per-instance MIPS of each
+	// job in each scenario.
+	JobMIPS []map[string]float64
+}
+
+// Collect profiles every scenario in the set on the given machine
+// configuration.
+func Collect(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
+	cat *metrics.Catalog, opts Options) (*Dataset, error) {
+	if set == nil || set.Len() == 0 {
+		return nil, errors.New("profiler: empty scenario set")
+	}
+	if jobs == nil || cat == nil {
+		return nil, errors.New("profiler: nil catalog")
+	}
+	if opts.SamplesPerScenario <= 0 {
+		return nil, errors.New("profiler: SamplesPerScenario must be positive")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ds := &Dataset{
+		Scenarios: set,
+		Catalog:   cat,
+		Config:    cfg,
+		Matrix:    linalg.NewMatrix(set.Len(), cat.Len()),
+		JobMIPS:   make([]map[string]float64, set.Len()),
+	}
+
+	// Workers never stop consuming, even after a failure — otherwise the
+	// unbuffered feed below would block the producer once every worker
+	// had exited on error. The first error wins; later work is skipped.
+	var (
+		ids      = make(chan int)
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				if failed.Load() {
+					continue // drain without working
+				}
+				if err := ds.profileOne(id, jobs, opts); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						failed.Store(true)
+					})
+				}
+			}
+		}()
+	}
+	for id := 0; id < set.Len(); id++ {
+		ids <- id
+	}
+	close(ids)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ds, nil
+}
+
+// profileOne measures one scenario: SamplesPerScenario noisy evaluations,
+// averaged per metric and per job.
+func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options) error {
+	sc, err := ds.Scenarios.Get(id)
+	if err != nil {
+		return err
+	}
+	assignments, err := Assignments(sc, jobs)
+	if err != nil {
+		return err
+	}
+
+	// Per-scenario deterministic substream: results are independent of
+	// scheduling order across workers.
+	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+
+	samples := make([][]float64, opts.SamplesPerScenario)
+	sumMIPS := make(map[string]float64, len(assignments))
+	for s := 0; s < opts.SamplesPerScenario; s++ {
+		res, err := perfmodel.Evaluate(ds.Config, assignments, perfmodel.Options{
+			NoiseStd:        opts.NoiseStd,
+			Rand:            rng,
+			ActivityFactors: phaseFactors(assignments, opts.PhaseStd, rng),
+		})
+		if err != nil {
+			return fmt.Errorf("profiler: scenario %d: %w", id, err)
+		}
+		samples[s] = metrics.Extract(ds.Catalog, ds.Config, res).Values
+		for _, j := range res.Jobs {
+			sumMIPS[j.Job] += j.MIPS
+		}
+	}
+
+	n := float64(opts.SamplesPerScenario)
+	names := ds.Catalog.Names()
+	col := make([]float64, opts.SamplesPerScenario)
+	for i, name := range names {
+		baseIdx := i
+		if base, isStd := metrics.StdOf(name); isStd {
+			baseIdx = ds.Catalog.Index(base)
+			if baseIdx < 0 {
+				return fmt.Errorf("profiler: variability metric %s has no base column", name)
+			}
+			for s := range samples {
+				col[s] = samples[s][baseIdx]
+			}
+			ds.Matrix.Set(id, i, stats.StdDev(col))
+			continue
+		}
+		var sum float64
+		for s := range samples {
+			sum += samples[s][baseIdx]
+		}
+		ds.Matrix.Set(id, i, sum/n)
+	}
+
+	jm := make(map[string]float64, len(sumMIPS))
+	for job, x := range sumMIPS {
+		jm[job] = x / n
+	}
+	ds.JobMIPS[id] = jm
+	return nil
+}
+
+// phaseFactors draws one temporal load multiplier per job for a sample
+// window, scaled by each job's catalog PhaseVariability. Returns nil when
+// phases are disabled.
+func phaseFactors(assignments []perfmodel.Assignment, phaseStd float64, rng *rand.Rand) []float64 {
+	if phaseStd <= 0 {
+		return nil
+	}
+	out := make([]float64, len(assignments))
+	for i, a := range assignments {
+		f := math.Exp(rng.NormFloat64() * phaseStd * a.Profile.PhaseVariability)
+		out[i] = mathx.Clamp(f, 0.5, 1.5)
+	}
+	return out
+}
+
+// Assignments resolves a scenario's placements against the job catalog.
+func Assignments(sc scenario.Scenario, jobs *workload.Catalog) ([]perfmodel.Assignment, error) {
+	out := make([]perfmodel.Assignment, 0, len(sc.Placements))
+	for _, p := range sc.Placements {
+		prof, err := jobs.Lookup(p.Job)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: scenario %d: %w", sc.ID, err)
+		}
+		out = append(out, perfmodel.Assignment{Profile: prof, Instances: p.Instances})
+	}
+	return out, nil
+}
+
+// MetricColumn returns the dataset column for the named metric.
+func (ds *Dataset) MetricColumn(name string) ([]float64, error) {
+	idx := ds.Catalog.Index(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("profiler: unknown metric %q", name)
+	}
+	return ds.Matrix.Col(idx), nil
+}

@@ -1,0 +1,87 @@
+package profiler
+
+import (
+	"fmt"
+
+	"flare/internal/metricdb"
+)
+
+// Table names used in the metric database.
+const (
+	samplesTable = "samples"  // (scenario, metric, value)
+	jobPerfTable = "job_perf" // (scenario, job, mips)
+)
+
+// Store writes the dataset into the metric database, creating the
+// "samples" and "job_perf" tables (the paper's relational recording of
+// collected statistics).
+func (ds *Dataset) Store(db *metricdb.DB) error {
+	samples, err := db.CreateTable(samplesTable, []metricdb.Column{
+		{Name: "scenario", Type: metricdb.TypeInt},
+		{Name: "metric", Type: metricdb.TypeString},
+		{Name: "value", Type: metricdb.TypeFloat},
+	})
+	if err != nil {
+		return fmt.Errorf("profiler: %w", err)
+	}
+	jobPerf, err := db.CreateTable(jobPerfTable, []metricdb.Column{
+		{Name: "scenario", Type: metricdb.TypeInt},
+		{Name: "job", Type: metricdb.TypeString},
+		{Name: "mips", Type: metricdb.TypeFloat},
+	})
+	if err != nil {
+		return fmt.Errorf("profiler: %w", err)
+	}
+
+	names := ds.Catalog.Names()
+	for id := 0; id < ds.Scenarios.Len(); id++ {
+		for col, name := range names {
+			err := samples.Insert(metricdb.Row{
+				metricdb.Int(int64(id)),
+				metricdb.String(name),
+				metricdb.Float(ds.Matrix.At(id, col)),
+			})
+			if err != nil {
+				return fmt.Errorf("profiler: %w", err)
+			}
+		}
+		for job, mips := range ds.JobMIPS[id] {
+			err := jobPerf.Insert(metricdb.Row{
+				metricdb.Int(int64(id)),
+				metricdb.String(job),
+				metricdb.Float(mips),
+			})
+			if err != nil {
+				return fmt.Errorf("profiler: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadMatrix reads the "samples" table back into the dataset's matrix
+// layout, validating that every (scenario, metric) cell is present.
+func (ds *Dataset) LoadMatrix(db *metricdb.DB) error {
+	samples, err := db.Table(samplesTable)
+	if err != nil {
+		return fmt.Errorf("profiler: %w", err)
+	}
+	seen := 0
+	for _, row := range samples.Select(nil) {
+		id := int(row[0].I)
+		col := ds.Catalog.Index(row[1].S)
+		if col < 0 {
+			return fmt.Errorf("profiler: samples table has unknown metric %q", row[1].S)
+		}
+		if id < 0 || id >= ds.Scenarios.Len() {
+			return fmt.Errorf("profiler: samples table has out-of-range scenario %d", id)
+		}
+		ds.Matrix.Set(id, col, row[2].F)
+		seen++
+	}
+	want := ds.Scenarios.Len() * ds.Catalog.Len()
+	if seen != want {
+		return fmt.Errorf("profiler: samples table has %d cells, want %d", seen, want)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Package refine implements FLARE's data refinement step (paper Sec 4.2):
+// dropping raw metrics that are near-duplicates of others. The paper's
+// example is memory bandwidth, which their monitoring reported as exactly
+// LLC-miss-count times payload size; eliminating such highly correlated
+// metrics reduced their 100+ raw metrics to 85 with weaker correlations.
+//
+// The algorithm is a greedy correlation filter: walk metrics in catalog
+// order and drop any whose absolute Pearson correlation with an
+// already-kept metric exceeds the threshold. Earlier (more fundamental)
+// metrics therefore win over their derived duplicates, matching how the
+// catalog is ordered.
+package refine
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/linalg"
+	"flare/internal/stats"
+)
+
+// DefaultThreshold is the |r| above which two metrics are considered
+// duplicates. 0.97 reliably catches functional duplicates measured with a
+// few percent of noise while keeping genuinely related-but-distinct
+// metrics apart.
+const DefaultThreshold = 0.97
+
+// Result describes a refinement: which metric columns survive.
+type Result struct {
+	// Kept holds the indices of surviving columns, ascending.
+	Kept []int
+	// Dropped maps each dropped column index to the kept column index that
+	// made it redundant.
+	Dropped map[int]int
+	// Names holds surviving metric names when input names were provided.
+	Names []string
+}
+
+// Refine filters the columns of m (observations in rows, metrics in
+// columns) with the greedy correlation rule. names is optional; when
+// non-nil it must have one entry per column.
+func Refine(m *linalg.Matrix, names []string, threshold float64) (*Result, error) {
+	if m == nil {
+		return nil, errors.New("refine: nil matrix")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("refine: threshold %v outside (0, 1]", threshold)
+	}
+	if names != nil && len(names) != m.Cols() {
+		return nil, fmt.Errorf("refine: %d names for %d columns", len(names), m.Cols())
+	}
+	if m.Rows() < 3 {
+		return nil, errors.New("refine: need at least 3 observations to estimate correlations")
+	}
+
+	cols := make([][]float64, m.Cols())
+	for j := range cols {
+		cols[j] = m.Col(j)
+	}
+
+	res := &Result{Dropped: make(map[int]int)}
+	for j := 0; j < m.Cols(); j++ {
+		dup := -1
+		for _, k := range res.Kept {
+			if abs(stats.Correlation(cols[j], cols[k])) > threshold {
+				dup = k
+				break
+			}
+		}
+		if dup >= 0 {
+			res.Dropped[j] = dup
+			continue
+		}
+		res.Kept = append(res.Kept, j)
+	}
+
+	if names != nil {
+		res.Names = make([]string, len(res.Kept))
+		for i, j := range res.Kept {
+			res.Names[i] = names[j]
+		}
+	}
+	return res, nil
+}
+
+// Apply projects m onto the kept columns.
+func (r *Result) Apply(m *linalg.Matrix) (*linalg.Matrix, error) {
+	if len(r.Kept) == 0 {
+		return nil, errors.New("refine: no kept columns")
+	}
+	for _, j := range r.Kept {
+		if j >= m.Cols() {
+			return nil, fmt.Errorf("refine: kept column %d outside matrix with %d columns", j, m.Cols())
+		}
+	}
+	out := linalg.NewMatrix(m.Rows(), len(r.Kept))
+	for i := 0; i < m.Rows(); i++ {
+		for jj, j := range r.Kept {
+			out.Set(i, jj, m.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

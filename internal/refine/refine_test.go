@@ -1,0 +1,172 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flare/internal/linalg"
+)
+
+// buildMatrix creates an n x 4 matrix where column 1 is an exact multiple
+// of column 0, column 2 is independent noise, and column 3 is a noisy
+// near-duplicate of column 2.
+func buildMatrix(t *testing.T, n int) *linalg.Matrix {
+	t.Helper()
+	r := rand.New(rand.NewSource(3))
+	m := linalg.NewMatrix(n, 4)
+	for i := 0; i < n; i++ {
+		a := r.NormFloat64()
+		c := r.NormFloat64()
+		m.Set(i, 0, a)
+		m.Set(i, 1, 64*a) // exact duplicate (the paper's MemBW example)
+		m.Set(i, 2, c)
+		m.Set(i, 3, c+0.01*r.NormFloat64()) // near duplicate
+	}
+	return m
+}
+
+func TestRefineDropsDuplicates(t *testing.T) {
+	m := buildMatrix(t, 200)
+	res, err := Refine(m, []string{"llc_miss", "mem_bw", "ipc", "ipc_copy"}, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 2 {
+		t.Fatalf("kept %d columns (%v), want 2", len(res.Kept), res.Names)
+	}
+	if res.Kept[0] != 0 || res.Kept[1] != 2 {
+		t.Errorf("kept = %v, want [0 2] (earlier metric wins)", res.Kept)
+	}
+	if res.Dropped[1] != 0 || res.Dropped[3] != 2 {
+		t.Errorf("dropped map = %v, want 1->0 and 3->2", res.Dropped)
+	}
+	if res.Names[0] != "llc_miss" || res.Names[1] != "ipc" {
+		t.Errorf("surviving names = %v", res.Names)
+	}
+}
+
+func TestRefineKeepsIndependentColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := linalg.NewMatrix(300, 5)
+	for i := 0; i < 300; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	res, err := Refine(m, nil, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 5 {
+		t.Errorf("independent columns kept = %d, want 5", len(res.Kept))
+	}
+}
+
+func TestRefineAntiCorrelatedIsDuplicate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := linalg.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		a := r.NormFloat64()
+		m.Set(i, 0, a)
+		m.Set(i, 1, -a) // perfectly anti-correlated carries no new info
+	}
+	res, err := Refine(m, nil, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 1 {
+		t.Errorf("anti-correlated pair kept %d columns, want 1", len(res.Kept))
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	m := buildMatrix(t, 100)
+	if _, err := Refine(nil, nil, 0.9); err == nil {
+		t.Error("nil matrix did not error")
+	}
+	if _, err := Refine(m, nil, 0); err == nil {
+		t.Error("zero threshold did not error")
+	}
+	if _, err := Refine(m, nil, 1.5); err == nil {
+		t.Error("threshold > 1 did not error")
+	}
+	if _, err := Refine(m, []string{"a"}, 0.9); err == nil {
+		t.Error("name/column mismatch did not error")
+	}
+	tiny := linalg.NewMatrix(2, 2)
+	if _, err := Refine(tiny, nil, 0.9); err == nil {
+		t.Error("too few observations did not error")
+	}
+}
+
+func TestApplyProjects(t *testing.T) {
+	m := buildMatrix(t, 50)
+	res, err := Refine(m, nil, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != m.Rows() || out.Cols() != len(res.Kept) {
+		t.Fatalf("Apply dims = %dx%d, want %dx%d", out.Rows(), out.Cols(), m.Rows(), len(res.Kept))
+	}
+	for i := 0; i < out.Rows(); i++ {
+		for jj, j := range res.Kept {
+			if out.At(i, jj) != m.At(i, j) {
+				t.Fatalf("Apply misplaced cell (%d,%d)", i, jj)
+			}
+		}
+	}
+}
+
+func TestApplyOnNarrowerMatrixErrors(t *testing.T) {
+	m := buildMatrix(t, 50)
+	res, err := Refine(m, nil, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := linalg.NewMatrix(10, 1)
+	if _, err := res.Apply(narrow); err == nil {
+		t.Error("Apply on narrower matrix did not error")
+	}
+}
+
+func TestRefinePropertyKeptPlusDroppedCoversAll(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 20+r.Intn(50), 2+r.Intn(8)
+		m := linalg.NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			base := r.NormFloat64()
+			for j := 0; j < cols; j++ {
+				// Random mixture of a shared factor and noise creates a
+				// realistic spread of correlations.
+				m.Set(i, j, base*float64(j%3)+r.NormFloat64())
+			}
+		}
+		res, err := Refine(m, nil, 0.9)
+		if err != nil {
+			return false
+		}
+		if len(res.Kept)+len(res.Dropped) != cols {
+			return false
+		}
+		// Every dropped column must reference a kept column.
+		kept := make(map[int]bool, len(res.Kept))
+		for _, k := range res.Kept {
+			kept[k] = true
+		}
+		for _, k := range res.Dropped {
+			if !kept[k] {
+				return false
+			}
+		}
+		return len(res.Kept) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

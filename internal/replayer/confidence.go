@@ -1,0 +1,107 @@
+package replayer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flare/internal/analyzer"
+	"flare/internal/machine"
+	"flare/internal/perfscore"
+	"flare/internal/stats"
+	"flare/internal/workload"
+)
+
+// EstimateWithCI is EstimateAllJob plus an uncertainty quantification the
+// paper leaves implicit: because FLARE's estimator is a stratified sample
+// (one measurement per cluster, weighted by cluster size), replaying a few
+// *extra* scenarios per cluster yields within-cluster impact variances and
+// hence a standard error for the weighted estimate:
+//
+//	Var(est) = sum over clusters of w_c^2 * s_c^2 / n_c
+//
+// The extra replays multiply the evaluation cost, so the depth is a knob:
+// extraPerCluster = 0 reproduces the paper's point estimate (no interval).
+type EstimateWithCI struct {
+	Estimate
+	// CI is the normal-theory interval around the weighted estimate; only
+	// meaningful when ExtraPerCluster > 0.
+	CI stats.ConfidenceInterval
+	// ExtraPerCluster is the additional replays performed per cluster.
+	ExtraPerCluster int
+}
+
+// EstimateAllJobWithCI runs the all-job estimation replaying the
+// representative plus up to extraPerCluster further ranked members of each
+// cluster, and derives a confidence interval at the given level from the
+// stratified variance.
+func EstimateAllJobWithCI(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore.Inherent,
+	base machine.Config, feat machine.Feature, extraPerCluster int, level float64,
+	opts Options) (*EstimateWithCI, error) {
+	if an == nil || len(an.Representatives) == 0 {
+		return nil, errors.New("replayer: analysis has no representatives")
+	}
+	if extraPerCluster < 0 {
+		return nil, errors.New("replayer: negative extraPerCluster")
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("replayer: confidence level %v outside (0, 1)", level)
+	}
+
+	out := &EstimateWithCI{
+		Estimate:        Estimate{Feature: feat.Name},
+		ExtraPerCluster: extraPerCluster,
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var weightSum, variance float64
+	for _, rep := range an.Representatives {
+		depth := 1 + extraPerCluster
+		if depth > len(rep.Ranked) {
+			depth = len(rep.Ranked)
+		}
+		impacts := make([]float64, 0, depth)
+		for i := 0; i < depth; i++ {
+			sc, err := an.Dataset.Scenarios.Get(rep.Ranked[i])
+			if err != nil {
+				return nil, fmt.Errorf("replayer: %w", err)
+			}
+			imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
+				NoiseStd: opts.ReconstructionNoiseStd,
+				Samples:  opts.Samples,
+				Rand:     rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replayer: %w", err)
+			}
+			impacts = append(impacts, imp.ReductionPct)
+			out.ScenariosReplayed++
+		}
+		clusterMean := stats.Mean(impacts)
+		out.PerCluster = append(out.PerCluster, ClusterImpact{
+			Cluster:      rep.Cluster,
+			ScenarioID:   rep.ScenarioID,
+			Weight:       rep.Weight,
+			ReductionPct: clusterMean,
+		})
+		out.ReductionPct += rep.Weight * clusterMean
+		weightSum += rep.Weight
+
+		if len(impacts) > 1 {
+			s2 := stats.SampleVariance(impacts)
+			variance += rep.Weight * rep.Weight * s2 / float64(len(impacts))
+		}
+	}
+	out.ReductionPct /= weightSum
+
+	se := math.Sqrt(variance) / weightSum
+	z := stats.NormalQuantile(0.5 + level/2)
+	out.CI = stats.ConfidenceInterval{
+		Center: out.ReductionPct,
+		Lower:  out.ReductionPct - z*se,
+		Upper:  out.ReductionPct + z*se,
+		Level:  level,
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package replayer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flare/internal/analyzer"
+	"flare/internal/machine"
+	"flare/internal/perfscore"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+// Plan is the portable replay artifact FLARE hands to a testbed team: the
+// representative colocations, their weights, and per-cluster fallback
+// scenarios for per-job estimation. A plan is self-contained — evaluating
+// a feature against it needs no profiled dataset or analysis state — so
+// it can be produced once per datacenter (or per machine shape, Sec 5.5)
+// and reused for every subsequent feature evaluation.
+type Plan struct {
+	// MachineShape names the shape the representatives were derived on;
+	// estimates against a different shape are rejected (Sec 5.5).
+	MachineShape string        `json:"machine_shape"`
+	Clusters     []PlanCluster `json:"clusters"`
+}
+
+// PlanCluster is one representative with its aggregation weight.
+type PlanCluster struct {
+	Cluster int     `json:"cluster"`
+	Weight  float64 `json:"weight"`
+	// Representative is the scenario replayed for all-job estimation.
+	Representative scenario.Scenario `json:"representative"`
+	// Fallbacks are the next-nearest cluster members, consulted in order
+	// when the representative lacks a job of interest.
+	Fallbacks []scenario.Scenario `json:"fallbacks,omitempty"`
+	// JobInstances counts each job's instances across the whole cluster
+	// (the per-job weighting basis).
+	JobInstances map[string]int `json:"job_instances"`
+}
+
+// maxPlanFallbacks bounds the fallback depth embedded per cluster.
+const maxPlanFallbacks = 8
+
+// NewPlan extracts the replay plan from a completed analysis.
+func NewPlan(an *analyzer.Analysis, shape machine.Shape) (*Plan, error) {
+	if an == nil || len(an.Representatives) == 0 {
+		return nil, errors.New("replayer: analysis has no representatives")
+	}
+	plan := &Plan{MachineShape: shape.Name}
+	for _, rep := range an.Representatives {
+		sc, err := an.Dataset.Scenarios.Get(rep.ScenarioID)
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		pc := PlanCluster{
+			Cluster:        rep.Cluster,
+			Weight:         rep.Weight,
+			Representative: sc,
+			JobInstances:   make(map[string]int),
+		}
+		for i, id := range rep.Ranked {
+			member, err := an.Dataset.Scenarios.Get(id)
+			if err != nil {
+				return nil, fmt.Errorf("replayer: %w", err)
+			}
+			for _, p := range member.Placements {
+				pc.JobInstances[p.Job] += p.Instances
+			}
+			if i > 0 && len(pc.Fallbacks) < maxPlanFallbacks {
+				pc.Fallbacks = append(pc.Fallbacks, member)
+			}
+		}
+		plan.Clusters = append(plan.Clusters, pc)
+	}
+	return plan, nil
+}
+
+// Validate checks plan invariants.
+func (p *Plan) Validate() error {
+	if len(p.Clusters) == 0 {
+		return errors.New("replayer: plan has no clusters")
+	}
+	var weight float64
+	for _, pc := range p.Clusters {
+		if pc.Weight <= 0 {
+			return fmt.Errorf("replayer: cluster %d has non-positive weight", pc.Cluster)
+		}
+		if len(pc.Representative.Placements) == 0 {
+			return fmt.Errorf("replayer: cluster %d has an empty representative", pc.Cluster)
+		}
+		weight += pc.Weight
+	}
+	if weight < 0.99 || weight > 1.01 {
+		return fmt.Errorf("replayer: plan weights sum to %v, want 1", weight)
+	}
+	return nil
+}
+
+// WriteJSON serialises the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("replayer: encoding plan: %w", err)
+	}
+	return nil
+}
+
+// ReadPlanJSON deserialises and validates a plan.
+func ReadPlanJSON(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("replayer: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// EstimateFromPlan estimates a feature's all-job impact by replaying the
+// plan's representatives — the standalone equivalent of EstimateAllJob.
+func EstimateFromPlan(plan *Plan, cat *workload.Catalog, inh *perfscore.Inherent,
+	base machine.Config, feat machine.Feature, opts Options) (*Estimate, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.MachineShape != base.Shape.Name {
+		return nil, fmt.Errorf("replayer: plan was derived on shape %q, machine is %q (derive per shape, Sec 5.5)",
+			plan.MachineShape, base.Shape.Name)
+	}
+	est := &Estimate{Feature: feat.Name}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var weightSum float64
+	for _, pc := range plan.Clusters {
+		imp, err := perfscore.EvaluateScenario(base, feat, pc.Representative, cat, inh, perfscore.Options{
+			NoiseStd: opts.ReconstructionNoiseStd,
+			Samples:  opts.Samples,
+			Rand:     rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		est.PerCluster = append(est.PerCluster, ClusterImpact{
+			Cluster:      pc.Cluster,
+			ScenarioID:   pc.Representative.ID,
+			Weight:       pc.Weight,
+			ReductionPct: imp.ReductionPct,
+		})
+		est.ReductionPct += pc.Weight * imp.ReductionPct
+		weightSum += pc.Weight
+		est.ScenariosReplayed++
+	}
+	est.ReductionPct /= weightSum
+	return est, nil
+}
+
+// EstimatePerJobFromPlan estimates a feature's per-job impact from a
+// plan, using the embedded fallbacks when a representative lacks the job.
+func EstimatePerJobFromPlan(plan *Plan, cat *workload.Catalog, inh *perfscore.Inherent,
+	base machine.Config, feat machine.Feature, job string, opts Options) (*JobEstimate, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := cat.Lookup(job); err != nil {
+		return nil, fmt.Errorf("replayer: %w", err)
+	}
+	est := &JobEstimate{Feature: feat.Name, Job: job}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var weightSum float64
+	for _, pc := range plan.Clusters {
+		chosen := scenario.Scenario{}
+		found := false
+		for _, cand := range append([]scenario.Scenario{pc.Representative}, pc.Fallbacks...) {
+			if cand.HasJob(job) {
+				chosen, found = cand, true
+				break
+			}
+		}
+		if !found || pc.JobInstances[job] == 0 {
+			continue
+		}
+		imp, err := perfscore.EvaluateScenario(base, feat, chosen, cat, inh, perfscore.Options{
+			NoiseStd: opts.ReconstructionNoiseStd,
+			Samples:  opts.Samples,
+			Rand:     rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		red, ok := imp.JobReductionPct[job]
+		if !ok {
+			continue
+		}
+		w := float64(pc.JobInstances[job])
+		est.PerCluster = append(est.PerCluster, ClusterImpact{
+			Cluster:      pc.Cluster,
+			ScenarioID:   chosen.ID,
+			Weight:       w,
+			ReductionPct: red,
+		})
+		est.ReductionPct += w * red
+		weightSum += w
+		est.ScenariosReplayed++
+	}
+	if weightSum == 0 {
+		return nil, fmt.Errorf("replayer: plan covers no instances of job %s", job)
+	}
+	est.ReductionPct /= weightSum
+	return est, nil
+}

@@ -1,0 +1,195 @@
+// Package replayer implements FLARE's Replayer (paper Sec 4.5): it
+// reconstructs the representative colocation scenarios on a feature-
+// enabled testbed using load-testing benchmarks, measures each under the
+// baseline and feature configurations, and aggregates the impacts into a
+// single estimate weighted by cluster size.
+//
+// The testbed here is the contention model with a small reconstruction
+// noise (replaying a recorded colocation on a fresh machine never
+// reproduces it exactly); the aggregation logic is exactly the paper's.
+package replayer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"flare/internal/analyzer"
+	"flare/internal/machine"
+	"flare/internal/perfscore"
+	"flare/internal/workload"
+)
+
+// Options controls replay measurements.
+type Options struct {
+	// ReconstructionNoiseStd models testbed replay error per measurement.
+	ReconstructionNoiseStd float64
+	// Samples averages this many replays per scenario (>= 1).
+	Samples int
+	// Seed makes replays reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns replay settings with a realistic reconstruction
+// error.
+func DefaultOptions() Options {
+	return Options{
+		ReconstructionNoiseStd: 0.01,
+		Samples:                3,
+		Seed:                   1,
+	}
+}
+
+// ClusterImpact is one representative's replayed measurement.
+type ClusterImpact struct {
+	Cluster      int
+	ScenarioID   int
+	Weight       float64
+	ReductionPct float64
+}
+
+// Estimate is FLARE's feature-impact estimate.
+type Estimate struct {
+	Feature string
+	// ReductionPct is the weighted mean HP MIPS reduction (positive =
+	// performance loss), the paper's single-number summary (Fig 4 step 4).
+	ReductionPct float64
+	// PerCluster holds each representative's measurement (Fig 11).
+	PerCluster []ClusterImpact
+	// ScenariosReplayed is the evaluation cost in scenario replays.
+	ScenariosReplayed int
+}
+
+// EstimateAllJob estimates a feature's comprehensive impact on all HP
+// jobs from the analysis' representative scenarios.
+func EstimateAllJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore.Inherent,
+	base machine.Config, feat machine.Feature, opts Options) (*Estimate, error) {
+	if an == nil || len(an.Representatives) == 0 {
+		return nil, errors.New("replayer: analysis has no representatives")
+	}
+	est := &Estimate{Feature: feat.Name}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var weightSum float64
+	for _, rep := range an.Representatives {
+		sc, err := an.Dataset.Scenarios.Get(rep.ScenarioID)
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
+			NoiseStd: opts.ReconstructionNoiseStd,
+			Samples:  opts.Samples,
+			Rand:     rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		est.PerCluster = append(est.PerCluster, ClusterImpact{
+			Cluster:      rep.Cluster,
+			ScenarioID:   rep.ScenarioID,
+			Weight:       rep.Weight,
+			ReductionPct: imp.ReductionPct,
+		})
+		est.ReductionPct += rep.Weight * imp.ReductionPct
+		weightSum += rep.Weight
+		est.ScenariosReplayed++
+	}
+	if weightSum > 0 {
+		est.ReductionPct /= weightSum
+	}
+	return est, nil
+}
+
+// JobEstimate is FLARE's per-job feature-impact estimate (Sec 5.3,
+// "Per-job impact").
+type JobEstimate struct {
+	Feature string
+	Job     string
+	// ReductionPct is the instance-weighted mean per-job MIPS reduction.
+	ReductionPct float64
+	// PerCluster holds the contributing measurements; clusters without
+	// the job are absent.
+	PerCluster []ClusterImpact
+	// ScenariosReplayed counts replays, including fallback scenarios that
+	// were consulted because a representative lacked the job.
+	ScenariosReplayed int
+}
+
+// EstimatePerJob estimates a feature's impact on one HP job. When a
+// cluster's representative does not contain the job, the next-nearest
+// scenario to the centroid that does contain it stands in (the paper's
+// fallback rule); clusters with no instance of the job at all contribute
+// nothing. Cluster contributions are weighted by the number of job
+// instances in the cluster — the likelihood of observing the job there.
+func EstimatePerJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore.Inherent,
+	base machine.Config, feat machine.Feature, job string, opts Options) (*JobEstimate, error) {
+	if an == nil || len(an.Representatives) == 0 {
+		return nil, errors.New("replayer: analysis has no representatives")
+	}
+	if _, err := cat.Lookup(job); err != nil {
+		return nil, fmt.Errorf("replayer: %w", err)
+	}
+	est := &JobEstimate{Feature: feat.Name, Job: job}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var weightSum float64
+	for _, rep := range an.Representatives {
+		// Find the nearest ranked scenario containing the job.
+		chosen := -1
+		for _, id := range rep.Ranked {
+			sc, err := an.Dataset.Scenarios.Get(id)
+			if err != nil {
+				return nil, fmt.Errorf("replayer: %w", err)
+			}
+			if sc.HasJob(job) {
+				chosen = id
+				break
+			}
+		}
+		if chosen < 0 {
+			continue // cluster has no instance of the job
+		}
+
+		// Cluster weight: total instances of the job across the cluster.
+		var clusterInstances int
+		for _, id := range rep.Ranked {
+			sc, err := an.Dataset.Scenarios.Get(id)
+			if err != nil {
+				return nil, fmt.Errorf("replayer: %w", err)
+			}
+			clusterInstances += sc.Instances(job)
+		}
+
+		sc, err := an.Dataset.Scenarios.Get(chosen)
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
+			NoiseStd: opts.ReconstructionNoiseStd,
+			Samples:  opts.Samples,
+			Rand:     rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replayer: %w", err)
+		}
+		est.ScenariosReplayed++
+		jobRed, ok := imp.JobReductionPct[job]
+		if !ok {
+			return nil, fmt.Errorf("replayer: scenario %d unexpectedly lacks job %s impact", chosen, job)
+		}
+		w := float64(clusterInstances)
+		est.PerCluster = append(est.PerCluster, ClusterImpact{
+			Cluster:      rep.Cluster,
+			ScenarioID:   chosen,
+			Weight:       w,
+			ReductionPct: jobRed,
+		})
+		est.ReductionPct += w * jobRed
+		weightSum += w
+	}
+	if weightSum == 0 {
+		return nil, fmt.Errorf("replayer: no cluster contains job %s", job)
+	}
+	est.ReductionPct /= weightSum
+	return est, nil
+}

@@ -1,0 +1,47 @@
+package scenario_test
+
+import (
+	"fmt"
+	"log"
+
+	"flare/internal/scenario"
+)
+
+// Example shows the canonical identity of a job colocation: placements
+// merge and sort, so equal mixes share a key regardless of input order.
+func Example() {
+	a, err := scenario.New([]scenario.Placement{
+		{Job: "mcf", Instances: 1},
+		{Job: "DC", Instances: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := scenario.New([]scenario.Placement{
+		{Job: "DC", Instances: 1},
+		{Job: "mcf", Instances: 1},
+		{Job: "DC", Instances: 1}, // merges with the first DC entry
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a.Key())
+	fmt.Println(a.Key() == b.Key())
+	fmt.Println(a.VCPUs(), "vCPUs")
+	// Output:
+	// DC:2,mcf:1
+	// true
+	// 12 vCPUs
+}
+
+// ExampleSet demonstrates population deduplication.
+func ExampleSet() {
+	set := scenario.NewSet()
+	mix, _ := scenario.New([]scenario.Placement{{Job: "DA", Instances: 3}})
+	set.Add(mix)
+	set.Add(mix) // observed again: same scenario, higher count
+	sc, _ := set.Get(0)
+	fmt.Println(set.Len(), "distinct;", sc.Observed, "observations")
+	// Output:
+	// 1 distinct; 2 observations
+}

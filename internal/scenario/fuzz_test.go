@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNewScenario asserts scenario construction never panics and that
+// accepted scenarios have stable, well-formed keys.
+func FuzzNewScenario(f *testing.F) {
+	f.Add("DC", 2, "mcf", 1)
+	f.Add("", 1, "DA", 0)
+	f.Add("a,b", -3, "c:d", 7)
+	f.Add("DC", 1, "DC", 4)
+
+	f.Fuzz(func(t *testing.T, jobA string, nA int, jobB string, nB int) {
+		sc, err := New([]Placement{
+			{Job: jobA, Instances: nA},
+			{Job: jobB, Instances: nB},
+		})
+		if err != nil {
+			return
+		}
+		key := sc.Key()
+		if key == "" {
+			t.Fatal("accepted scenario has empty key")
+		}
+		// Keys are canonical: rebuilding from the same placements in the
+		// opposite order must agree.
+		swapped, err := New([]Placement{
+			{Job: jobB, Instances: nB},
+			{Job: jobA, Instances: nA},
+		})
+		if err != nil {
+			t.Fatalf("order-swapped construction failed: %v", err)
+		}
+		if swapped.Key() != key {
+			t.Fatalf("key not order-invariant: %q vs %q", key, swapped.Key())
+		}
+		// Instance accounting holds.
+		if sc.TotalInstances() <= 0 {
+			t.Fatal("accepted scenario has no instances")
+		}
+		if sc.VCPUs() != sc.TotalInstances()*4 {
+			t.Fatalf("vCPUs %d != 4 * instances %d", sc.VCPUs(), sc.TotalInstances())
+		}
+		// A set deduplicates by the canonical key.
+		set := NewSet()
+		a := set.Add(sc)
+		b := set.Add(swapped)
+		if a != b {
+			t.Fatalf("set treated identical scenarios as distinct")
+		}
+		_ = strings.Count(key, ",")
+	})
+}

@@ -1,0 +1,127 @@
+// Package scenario defines the job-colocation scenario, FLARE's basic unit
+// of performance evaluation (paper Sec 4.1): the multiset of job instances
+// co-resident on one machine. Every new combination of jobs observed on
+// any machine defines a new scenario.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flare/internal/workload"
+)
+
+// Placement is one job's presence in a scenario: the job name and how many
+// 4-vCPU instances of it are running.
+type Placement struct {
+	Job       string `json:"job"`       // workload profile name
+	Instances int    `json:"instances"` // number of co-resident instances
+}
+
+// Scenario is a job-colocation scenario. Placements are kept sorted by job
+// name so scenarios compare canonically.
+type Scenario struct {
+	ID         int         `json:"id"`         // stable index within a Set
+	Placements []Placement `json:"placements"` // sorted by job name
+	Observed   int         `json:"observed"`   // times this combination was seen in the trace
+}
+
+// New builds a canonical scenario from placements: entries with the same
+// job are merged, zero-instance entries dropped, and the result sorted.
+// It returns an error if any placement has negative instances or the
+// result is empty.
+func New(placements []Placement) (Scenario, error) {
+	merged := make(map[string]int)
+	for _, p := range placements {
+		if p.Instances < 0 {
+			return Scenario{}, fmt.Errorf("scenario: negative instance count %d for job %s", p.Instances, p.Job)
+		}
+		if p.Job == "" {
+			return Scenario{}, errors.New("scenario: placement with empty job name")
+		}
+		merged[p.Job] += p.Instances
+	}
+	out := Scenario{Observed: 1}
+	for job, n := range merged {
+		if n == 0 {
+			continue
+		}
+		out.Placements = append(out.Placements, Placement{Job: job, Instances: n})
+	}
+	if len(out.Placements) == 0 {
+		return Scenario{}, errors.New("scenario: empty scenario")
+	}
+	sort.Slice(out.Placements, func(i, j int) bool {
+		return out.Placements[i].Job < out.Placements[j].Job
+	})
+	return out, nil
+}
+
+// Key returns the canonical identity string of the scenario's job mix,
+// e.g. "DA:2,DC:1,mcf:1". Two scenarios with the same Key are the same
+// colocation.
+func (s Scenario) Key() string {
+	parts := make([]string, len(s.Placements))
+	for i, p := range s.Placements {
+		parts[i] = p.Job + ":" + strconv.Itoa(p.Instances)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TotalInstances returns the total number of job instances.
+func (s Scenario) TotalInstances() int {
+	var n int
+	for _, p := range s.Placements {
+		n += p.Instances
+	}
+	return n
+}
+
+// VCPUs returns the total vCPUs the scenario occupies.
+func (s Scenario) VCPUs() int {
+	return s.TotalInstances() * workload.InstanceVCPUs
+}
+
+// Occupancy returns the fraction of machineVCPUs the scenario occupies.
+func (s Scenario) Occupancy(machineVCPUs int) float64 {
+	if machineVCPUs <= 0 {
+		return 0
+	}
+	return float64(s.VCPUs()) / float64(machineVCPUs)
+}
+
+// Instances returns the instance count for the named job (0 if absent).
+func (s Scenario) Instances(job string) int {
+	for _, p := range s.Placements {
+		if p.Job == job {
+			return p.Instances
+		}
+	}
+	return 0
+}
+
+// HasJob reports whether the scenario contains at least one instance of
+// the named job.
+func (s Scenario) HasJob(job string) bool { return s.Instances(job) > 0 }
+
+// CountByClass returns the total instances of HP and LP jobs, classified
+// via the catalog. Unknown jobs are counted as LP (free quota).
+func (s Scenario) CountByClass(catalog *workload.Catalog) (hp, lp int) {
+	for _, p := range s.Placements {
+		prof, err := catalog.Lookup(p.Job)
+		if err == nil && prof.IsHP() {
+			hp += p.Instances
+		} else {
+			lp += p.Instances
+		}
+	}
+	return hp, lp
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	return fmt.Sprintf("scenario#%d{%s}", s.ID, s.Key())
+}

@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flare/internal/workload"
+)
+
+func TestNewCanonicalises(t *testing.T) {
+	s, err := New([]Placement{
+		{Job: "DC", Instances: 1},
+		{Job: "DA", Instances: 2},
+		{Job: "DC", Instances: 1}, // merged with the first DC entry
+		{Job: "MS", Instances: 0}, // dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Key(); got != "DA:2,DC:2" {
+		t.Errorf("Key = %q, want \"DA:2,DC:2\"", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty scenario did not error")
+	}
+	if _, err := New([]Placement{{Job: "DA", Instances: -1}}); err == nil {
+		t.Error("negative instances did not error")
+	}
+	if _, err := New([]Placement{{Job: "", Instances: 1}}); err == nil {
+		t.Error("empty job name did not error")
+	}
+	if _, err := New([]Placement{{Job: "DA", Instances: 0}}); err == nil {
+		t.Error("all-zero scenario did not error")
+	}
+}
+
+func TestScenarioAccessors(t *testing.T) {
+	s, err := New([]Placement{{Job: "DA", Instances: 2}, {Job: "mcf", Instances: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalInstances(); got != 5 {
+		t.Errorf("TotalInstances = %d, want 5", got)
+	}
+	if got := s.VCPUs(); got != 20 {
+		t.Errorf("VCPUs = %d, want 20", got)
+	}
+	if got := s.Occupancy(40); got != 0.5 {
+		t.Errorf("Occupancy(40) = %v, want 0.5", got)
+	}
+	if got := s.Occupancy(0); got != 0 {
+		t.Errorf("Occupancy(0) = %v, want 0", got)
+	}
+	if !s.HasJob("DA") || s.HasJob("DC") {
+		t.Error("HasJob wrong")
+	}
+	if got := s.Instances("mcf"); got != 3 {
+		t.Errorf("Instances(mcf) = %d, want 3", got)
+	}
+}
+
+func TestCountByClass(t *testing.T) {
+	cat := workload.DefaultCatalog()
+	s, err := New([]Placement{
+		{Job: workload.DataAnalytics, Instances: 2},
+		{Job: workload.Mcf, Instances: 1},
+		{Job: "unknown-job", Instances: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, lp := s.CountByClass(cat)
+	if hp != 2 {
+		t.Errorf("hp = %d, want 2", hp)
+	}
+	if lp != 5 {
+		t.Errorf("lp = %d, want 5 (1 mcf + 4 unknown)", lp)
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	set := NewSet()
+	a, _ := New([]Placement{{Job: "DA", Instances: 1}})
+	b, _ := New([]Placement{{Job: "DA", Instances: 1}})
+	c, _ := New([]Placement{{Job: "DA", Instances: 2}})
+
+	idA := set.Add(a)
+	idB := set.Add(b)
+	idC := set.Add(c)
+
+	if idA != idB {
+		t.Errorf("duplicate scenario got different IDs: %d vs %d", idA, idB)
+	}
+	if idA == idC {
+		t.Error("distinct scenarios share an ID")
+	}
+	if set.Len() != 2 {
+		t.Errorf("Len = %d, want 2", set.Len())
+	}
+	got, err := set.Get(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observed != 2 {
+		t.Errorf("Observed = %d, want 2", got.Observed)
+	}
+	if set.TotalObserved() != 3 {
+		t.Errorf("TotalObserved = %d, want 3", set.TotalObserved())
+	}
+}
+
+func TestSetGetOutOfRange(t *testing.T) {
+	set := NewSet()
+	if _, err := set.Get(0); err == nil {
+		t.Error("Get on empty set did not error")
+	}
+	if _, err := set.Get(-1); err == nil {
+		t.Error("Get(-1) did not error")
+	}
+}
+
+func TestSetWithJob(t *testing.T) {
+	set := NewSet()
+	a, _ := New([]Placement{{Job: "DA", Instances: 1}})
+	b, _ := New([]Placement{{Job: "DC", Instances: 1}})
+	ab, _ := New([]Placement{{Job: "DA", Instances: 1}, {Job: "DC", Instances: 1}})
+	set.Add(a)
+	set.Add(b)
+	set.Add(ab)
+
+	got := set.WithJob("DA")
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("WithJob(DA) = %v, want [0 2]", got)
+	}
+}
+
+func TestSortedByOccupancy(t *testing.T) {
+	set := NewSet()
+	big, _ := New([]Placement{{Job: "DA", Instances: 5}})
+	small, _ := New([]Placement{{Job: "DC", Instances: 1}})
+	mid, _ := New([]Placement{{Job: "MS", Instances: 3}})
+	set.Add(big)
+	set.Add(small)
+	set.Add(mid)
+
+	ids := set.SortedByOccupancy()
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 0 {
+		t.Errorf("SortedByOccupancy = %v, want [1 2 0]", ids)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	set := NewSet()
+	a, _ := New([]Placement{{Job: "DA", Instances: 2}, {Job: "mcf", Instances: 1}})
+	b, _ := New([]Placement{{Job: "DC", Instances: 1}})
+	set.Add(a)
+	set.Add(a) // Observed = 2
+	set.Add(b)
+
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != set.Len() {
+		t.Fatalf("round-trip Len = %d, want %d", got.Len(), set.Len())
+	}
+	for i := 0; i < set.Len(); i++ {
+		orig, _ := set.Get(i)
+		back, _ := got.Get(i)
+		if orig.Key() != back.Key() || orig.Observed != back.Observed {
+			t.Errorf("scenario %d changed in round trip: %v vs %v", i, orig, back)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage input did not error")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`[{"placements":[]}]`)); err == nil {
+		t.Error("empty-placement scenario did not error")
+	}
+}
+
+func TestKeyPropertyOrderInvariant(t *testing.T) {
+	jobs := []string{"DA", "DC", "DS", "GA", "mcf", "sjeng"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		ps := make([]Placement, n)
+		for i := range ps {
+			ps[i] = Placement{Job: jobs[r.Intn(len(jobs))], Instances: 1 + r.Intn(4)}
+		}
+		a, err := New(ps)
+		if err != nil {
+			return false
+		}
+		// Shuffle and rebuild: the key must not change.
+		r.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+		b, err := New(ps)
+		if err != nil {
+			return false
+		}
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAddPropertyIdempotentKeying(t *testing.T) {
+	// Adding the same mix k times yields one scenario with Observed = k.
+	f := func(k uint8) bool {
+		n := int(k%10) + 1
+		set := NewSet()
+		s, err := New([]Placement{{Job: "DA", Instances: 2}})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			set.Add(s)
+		}
+		if set.Len() != 1 {
+			return false
+		}
+		got, err := set.Get(0)
+		return err == nil && got.Observed == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

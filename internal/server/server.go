@@ -1,0 +1,302 @@
+// Package server exposes an analysed FLARE pipeline over HTTP, so
+// datacenter engineers can query representatives and request feature
+// estimates from dashboards or scripts. Endpoints:
+//
+//	GET /healthz                       liveness probe
+//	GET /api/summary                   pipeline overview
+//	GET /api/representatives           representative scenarios + weights
+//	GET /api/pcs                       high-level metric interpretations
+//	GET /api/scenarios[?job=DC]        the scenario population (optionally filtered)
+//	GET /api/estimate?feature=feature1[&job=DC]   impact estimate (cached)
+//
+// All responses are JSON. Estimates are memoised per (feature, job) and
+// safe under concurrent requests.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"flare/internal/core"
+	"flare/internal/machine"
+	"flare/internal/replayer"
+)
+
+// Server handles HTTP requests against a completed pipeline.
+type Server struct {
+	pipeline *core.Pipeline
+	features map[string]machine.Feature
+
+	mu    sync.Mutex
+	cache map[string]estimateResponse
+}
+
+// New creates a server over a pipeline that has completed Profile and
+// Analyze, exposing the given features for estimation.
+func New(p *core.Pipeline, features []machine.Feature) (*Server, error) {
+	if p == nil || p.Analysis() == nil {
+		return nil, errors.New("server: pipeline must be analysed before serving")
+	}
+	s := &Server{
+		pipeline: p,
+		features: make(map[string]machine.Feature, len(features)),
+		cache:    make(map[string]estimateResponse),
+	}
+	for _, f := range features {
+		if _, dup := s.features[f.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate feature %q", f.Name)
+		}
+		s.features[f.Name] = f
+	}
+	return s, nil
+}
+
+// Handler returns the server's routing mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/api/summary", s.handleSummary)
+	mux.HandleFunc("/api/representatives", s.handleRepresentatives)
+	mux.HandleFunc("/api/pcs", s.handlePCs)
+	mux.HandleFunc("/api/scenarios", s.handleScenarios)
+	mux.HandleFunc("/api/estimate", s.handleEstimate)
+	mux.HandleFunc("/api/plan", s.handlePlan)
+	return mux
+}
+
+// handlePlan serves the portable replay plan (representatives + weights +
+// fallbacks) for downstream testbeds.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	plan, err := replayer.NewPlan(s.pipeline.Analysis(), s.pipeline.Machine().Shape)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building plan: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// the connection will just break.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// requireGet guards non-GET methods.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// summaryResponse describes the analysed pipeline.
+type summaryResponse struct {
+	Scenarios       int      `json:"scenarios"`
+	RawMetrics      int      `json:"raw_metrics"`
+	RefinedMetrics  int      `json:"refined_metrics"`
+	PrincipalComps  int      `json:"principal_components"`
+	Clusters        int      `json:"clusters"`
+	MachineShape    string   `json:"machine_shape"`
+	Features        []string `json:"features"`
+	Representatives int      `json:"representatives"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	an := s.pipeline.Analysis()
+	names := make([]string, 0, len(s.features))
+	for name := range s.features {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	writeJSON(w, http.StatusOK, summaryResponse{
+		Scenarios:       an.Dataset.Scenarios.Len(),
+		RawMetrics:      an.Dataset.Catalog.Len(),
+		RefinedMetrics:  len(an.RefinedNames),
+		PrincipalComps:  an.PCA.NumPC,
+		Clusters:        an.Clustering.K,
+		MachineShape:    s.pipeline.Machine().Shape.Name,
+		Features:        names,
+		Representatives: len(an.Representatives),
+	})
+}
+
+// representativeResponse is one representative scenario.
+type representativeResponse struct {
+	Cluster    int     `json:"cluster"`
+	ScenarioID int     `json:"scenario_id"`
+	Key        string  `json:"key"`
+	WeightPct  float64 `json:"weight_pct"`
+	Members    int     `json:"members"`
+}
+
+func (s *Server) handleRepresentatives(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	an := s.pipeline.Analysis()
+	out := make([]representativeResponse, 0, len(an.Representatives))
+	for _, rep := range an.Representatives {
+		sc, err := an.Dataset.Scenarios.Get(rep.ScenarioID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "resolving scenario %d: %v", rep.ScenarioID, err)
+			return
+		}
+		out = append(out, representativeResponse{
+			Cluster:    rep.Cluster,
+			ScenarioID: rep.ScenarioID,
+			Key:        sc.Key(),
+			WeightPct:  100 * rep.Weight,
+			Members:    len(rep.Ranked),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pcResponse is one high-level metric interpretation.
+type pcResponse struct {
+	Index          int     `json:"index"`
+	ExplainedPct   float64 `json:"explained_pct"`
+	Interpretation string  `json:"interpretation"`
+}
+
+func (s *Server) handlePCs(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	an := s.pipeline.Analysis()
+	out := make([]pcResponse, 0, len(an.Labels))
+	for _, lbl := range an.Labels {
+		out = append(out, pcResponse{
+			Index:          lbl.Index,
+			ExplainedPct:   100 * lbl.Explained,
+			Interpretation: lbl.Interpretation,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scenarioResponse is one colocation scenario.
+type scenarioResponse struct {
+	ID        int    `json:"id"`
+	Key       string `json:"key"`
+	Instances int    `json:"instances"`
+	VCPUs     int    `json:"vcpus"`
+	Cluster   int    `json:"cluster"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	job := r.URL.Query().Get("job")
+	an := s.pipeline.Analysis()
+	var out []scenarioResponse
+	for _, sc := range an.Dataset.Scenarios.All() {
+		if job != "" && !sc.HasJob(job) {
+			continue
+		}
+		out = append(out, scenarioResponse{
+			ID:        sc.ID,
+			Key:       sc.Key(),
+			Instances: sc.TotalInstances(),
+			VCPUs:     sc.VCPUs(),
+			Cluster:   an.Clustering.Labels[sc.ID],
+		})
+	}
+	if job != "" && len(out) == 0 {
+		writeError(w, http.StatusNotFound, "no scenario contains job %q", job)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// estimateResponse is a feature-impact estimate.
+type estimateResponse struct {
+	Feature           string  `json:"feature"`
+	Description       string  `json:"description"`
+	Job               string  `json:"job,omitempty"`
+	ReductionPct      float64 `json:"mips_reduction_pct"`
+	ScenariosReplayed int     `json:"scenarios_replayed"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	featName := r.URL.Query().Get("feature")
+	if featName == "" {
+		writeError(w, http.StatusBadRequest, "missing feature parameter")
+		return
+	}
+	feat, ok := s.features[featName]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown feature %q", featName)
+		return
+	}
+	job := r.URL.Query().Get("job")
+
+	key := featName + "|" + job
+	s.mu.Lock()
+	cached, hit := s.cache[key]
+	s.mu.Unlock()
+	if hit {
+		writeJSON(w, http.StatusOK, cached)
+		return
+	}
+
+	resp := estimateResponse{Feature: feat.Name, Description: feat.Description, Job: job}
+	if job == "" {
+		est, err := s.pipeline.EvaluateFeature(feat)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "estimation failed: %v", err)
+			return
+		}
+		resp.ReductionPct = est.ReductionPct
+		resp.ScenariosReplayed = est.ScenariosReplayed
+	} else {
+		est, err := s.pipeline.EvaluateFeatureForJob(feat, job)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "estimation failed: %v", err)
+			return
+		}
+		resp.ReductionPct = est.ReductionPct
+		resp.ScenariosReplayed = est.ScenariosReplayed
+	}
+
+	s.mu.Lock()
+	s.cache[key] = resp
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }

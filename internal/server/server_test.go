@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/replayer"
+)
+
+var (
+	srvOnce sync.Once
+	srvVal  *Server
+	srvErr  error
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		simCfg := dcsim.DefaultConfig()
+		simCfg.Duration = 7 * 24 * time.Hour
+		simCfg.ResizesPerJobPerDay = 4
+		trace, err := dcsim.Run(simCfg)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		cfg := core.DefaultConfig()
+		cfg.Analyze.Clusters = 10
+		p, err := core.New(cfg)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		if err := p.Profile(trace.Scenarios); err != nil {
+			srvErr = err
+			return
+		}
+		if err := p.Analyze(); err != nil {
+			srvErr = err
+			return
+		}
+		srvVal, srvErr = New(p, machine.PaperFeatures())
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvVal
+}
+
+// get performs a request and decodes the JSON body into out.
+func get(t *testing.T, h http.Handler, path string, wantStatus int, out interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s = %d, want %d (body: %s)", path, rec.Code, wantStatus, rec.Body.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", path, err)
+		}
+	}
+}
+
+func TestNewRequiresAnalysedPipeline(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil pipeline did not error")
+	}
+	p, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, nil); err == nil {
+		t.Error("un-analysed pipeline did not error")
+	}
+}
+
+func TestNewRejectsDuplicateFeatures(t *testing.T) {
+	s := testServer(t)
+	_ = s
+	feats := []machine.Feature{machine.Baseline(), machine.Baseline()}
+	if _, err := New(srvVal.pipeline, feats); err == nil {
+		t.Error("duplicate features did not error")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t).Handler()
+	var body map[string]string
+	get(t, h, "/healthz", http.StatusOK, &body)
+	if body["status"] != "ok" {
+		t.Errorf("healthz status = %q", body["status"])
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := testServer(t).Handler()
+	req := httptest.NewRequest(http.MethodPost, "/api/summary", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/summary = %d, want 405", rec.Code)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := testServer(t).Handler()
+	var body summaryResponse
+	get(t, h, "/api/summary", http.StatusOK, &body)
+	if body.Scenarios == 0 || body.Clusters != 10 {
+		t.Errorf("summary = %+v", body)
+	}
+	if body.PrincipalComps == 0 || body.RefinedMetrics >= body.RawMetrics {
+		t.Errorf("summary pipeline stats wrong: %+v", body)
+	}
+	if len(body.Features) != 3 {
+		t.Errorf("features = %v, want 3", body.Features)
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	h := testServer(t).Handler()
+	var body []representativeResponse
+	get(t, h, "/api/representatives", http.StatusOK, &body)
+	if len(body) == 0 {
+		t.Fatal("no representatives")
+	}
+	var weight float64
+	for _, rep := range body {
+		if rep.Key == "" {
+			t.Errorf("representative %d has empty key", rep.Cluster)
+		}
+		weight += rep.WeightPct
+	}
+	if weight < 99 || weight > 101 {
+		t.Errorf("weights sum to %v%%, want 100%%", weight)
+	}
+}
+
+func TestPCs(t *testing.T) {
+	h := testServer(t).Handler()
+	var body []pcResponse
+	get(t, h, "/api/pcs", http.StatusOK, &body)
+	if len(body) == 0 {
+		t.Fatal("no PCs")
+	}
+	for _, pc := range body {
+		if pc.Interpretation == "" {
+			t.Errorf("PC %d has empty interpretation", pc.Index)
+		}
+	}
+}
+
+func TestScenariosFiltering(t *testing.T) {
+	h := testServer(t).Handler()
+	var all []scenarioResponse
+	get(t, h, "/api/scenarios", http.StatusOK, &all)
+	var dc []scenarioResponse
+	get(t, h, "/api/scenarios?job=DC", http.StatusOK, &dc)
+	if len(dc) == 0 || len(dc) >= len(all) {
+		t.Errorf("filtering: %d DC scenarios of %d total", len(dc), len(all))
+	}
+	get(t, h, "/api/scenarios?job=nosuchjob", http.StatusNotFound, nil)
+}
+
+func TestEstimate(t *testing.T) {
+	h := testServer(t).Handler()
+	var body estimateResponse
+	get(t, h, "/api/estimate?feature=feature1", http.StatusOK, &body)
+	if body.ReductionPct <= 0 {
+		t.Errorf("estimate = %+v, want positive reduction", body)
+	}
+	if body.ScenariosReplayed == 0 {
+		t.Error("estimate reports zero cost")
+	}
+
+	var perJob estimateResponse
+	get(t, h, "/api/estimate?feature=feature2&job=DC", http.StatusOK, &perJob)
+	if perJob.Job != "DC" || perJob.ReductionPct <= 0 {
+		t.Errorf("per-job estimate = %+v", perJob)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	h := testServer(t).Handler()
+	get(t, h, "/api/estimate", http.StatusBadRequest, nil)
+	get(t, h, "/api/estimate?feature=nosuch", http.StatusNotFound, nil)
+	get(t, h, "/api/estimate?feature=feature1&job=nosuchjob", http.StatusBadRequest, nil)
+}
+
+func TestEstimateCachedAndConcurrent(t *testing.T) {
+	h := testServer(t).Handler()
+	// Hammer the same estimate concurrently: all responses must agree.
+	const workers = 16
+	results := make([]estimateResponse, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/api/estimate?feature=feature3", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			_ = json.Unmarshal(rec.Body.Bytes(), &results[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i].ReductionPct != results[0].ReductionPct {
+			t.Fatalf("concurrent estimates disagree: %v vs %v", results[i], results[0])
+		}
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	var plan replayer.Plan
+	get(t, h, "/api/plan", http.StatusOK, &plan)
+	if err := plan.Validate(); err != nil {
+		t.Errorf("served plan invalid: %v", err)
+	}
+	if plan.MachineShape != "default" {
+		t.Errorf("plan shape = %q, want default", plan.MachineShape)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width binned summary of a sample, used to render
+// the violin-style distributions of Figure 12a as text.
+type Histogram struct {
+	Min    float64 // lower edge of the first bin
+	Max    float64 // upper edge of the last bin
+	Counts []int   // per-bin observation counts
+	N      int     // total observations
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// [min(xs), max(xs)]. It returns an error for an empty sample or a
+// non-positive bin count. A degenerate sample (all equal) produces a
+// single fully-populated bin region.
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	lo, hi, err := MinMax(xs)
+	if err != nil {
+		return nil, err
+	}
+	h := &Histogram{Min: lo, Max: hi, Counts: make([]int, bins), N: len(xs)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		var idx int
+		if width > 0 {
+			idx = int((x - lo) / width)
+			if idx >= bins { // x == hi lands in the last bin
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	if len(h.Counts) == 0 {
+		return h.Min
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*width
+}
+
+// MaxCount returns the largest per-bin count.
+func (h *Histogram) MaxCount() int {
+	out := 0
+	for _, c := range h.Counts {
+		if c > out {
+			out = c
+		}
+	}
+	return out
+}
+
+// Render draws the histogram sideways as ASCII art, one line per bin, with
+// bars scaled to width columns. It is used by the report package to show
+// sampling-estimate distributions.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := h.MaxCount()
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "%10.3f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

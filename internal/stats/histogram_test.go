@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 10 {
+		t.Errorf("N = %d, want 10", h.N)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("sum of counts = %d, want 10", total)
+	}
+	// Uniform data over 5 bins should give 2 per bin.
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, c)
+		}
+	}
+}
+
+func TestHistogramMaxValueInLastBin(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[3] != 1 {
+		t.Errorf("max value not in last bin: %v", h.Counts)
+	}
+}
+
+func TestHistogramDegenerateSample(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate sample counts = %v, want all in bin 0", h.Counts)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("empty sample did not error")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins did not error")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.BinCenter(0); got != 2.5 {
+		t.Errorf("BinCenter(0) = %v, want 2.5", got)
+	}
+	if got := h.BinCenter(1); got != 7.5 {
+		t.Errorf("BinCenter(1) = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("Render produced no bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("Render produced %d lines, want 2", lines)
+	}
+}

@@ -1,0 +1,275 @@
+// Package svgplot renders the experiment results as standalone SVG
+// figures using only the standard library: line charts (Figs 7, 9, 13),
+// grouped bar charts (Figs 2, 11, 12), and radar plots (Fig 10). The
+// output is deliberately simple, styleless SVG that any browser renders.
+package svgplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette cycles through series colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Series is one named sequence of Y values.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// canvas accumulates SVG elements.
+type canvas struct {
+	w, h int
+	sb   strings.Builder
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h}
+	fmt.Fprintf(&c.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, colour string, width float64) {
+	fmt.Fprintf(&c.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, colour, width)
+}
+
+func (c *canvas) polyline(points [][2]float64, colour string, width float64, closePath bool) {
+	var pts []string
+	for _, p := range points {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", p[0], p[1]))
+	}
+	tag := "polyline"
+	if closePath {
+		tag = "polygon"
+	}
+	fmt.Fprintf(&c.sb, `<%s points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		tag, strings.Join(pts, " "), colour, width)
+}
+
+func (c *canvas) rect(x, y, w, h float64, colour string) {
+	fmt.Fprintf(&c.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, colour)
+}
+
+func (c *canvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.sb, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *canvas) String() string {
+	return c.sb.String() + "</svg>\n"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// chartArea is the plot region inside the margins.
+type chartArea struct {
+	left, top, right, bottom float64
+}
+
+func (a chartArea) width() float64  { return a.right - a.left }
+func (a chartArea) height() float64 { return a.bottom - a.top }
+
+// rangeOf returns the [min, max] spanned by all series, padded slightly
+// and anchored at zero for positive data.
+func rangeOf(series []Series) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	hi += 0.05 * (hi - lo)
+	return lo, hi
+}
+
+// LineChart renders one or more series against shared X labels.
+func LineChart(title string, xLabels []string, series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("svgplot: no series")
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xLabels) {
+			return "", fmt.Errorf("svgplot: series %q has %d values for %d x labels", s.Name, len(s.Values), len(xLabels))
+		}
+	}
+	if len(xLabels) < 2 {
+		return "", errors.New("svgplot: need at least 2 x positions")
+	}
+
+	c := newCanvas(640, 400)
+	area := chartArea{left: 60, top: 40, right: 620, bottom: 340}
+	lo, hi := rangeOf(series)
+
+	c.text(320, 24, 16, "middle", title)
+	drawAxes(c, area, lo, hi, xLabels)
+
+	for si, s := range series {
+		colour := palette[si%len(palette)]
+		var pts [][2]float64
+		for i, v := range s.Values {
+			x := area.left + float64(i)/float64(len(xLabels)-1)*area.width()
+			y := area.bottom - (v-lo)/(hi-lo)*area.height()
+			pts = append(pts, [2]float64{x, y})
+		}
+		c.polyline(pts, colour, 2, false)
+		// Legend entry.
+		ly := 50 + float64(si)*16
+		c.rect(area.right-140, ly-8, 10, 10, colour)
+		c.text(area.right-125, ly, 11, "start", s.Name)
+	}
+	return c.String(), nil
+}
+
+// BarChart renders grouped bars: one group per X label, one bar per
+// series within a group.
+func BarChart(title string, xLabels []string, series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("svgplot: no series")
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xLabels) {
+			return "", fmt.Errorf("svgplot: series %q has %d values for %d x labels", s.Name, len(s.Values), len(xLabels))
+		}
+	}
+	if len(xLabels) == 0 {
+		return "", errors.New("svgplot: no x labels")
+	}
+
+	c := newCanvas(640, 400)
+	area := chartArea{left: 60, top: 40, right: 620, bottom: 340}
+	lo, hi := rangeOf(series)
+
+	c.text(320, 24, 16, "middle", title)
+	drawAxes(c, area, lo, hi, xLabels)
+
+	groupW := area.width() / float64(len(xLabels))
+	barW := groupW * 0.8 / float64(len(series))
+	for si, s := range series {
+		colour := palette[si%len(palette)]
+		for i, v := range s.Values {
+			x := area.left + float64(i)*groupW + groupW*0.1 + float64(si)*barW
+			y := area.bottom - (v-lo)/(hi-lo)*area.height()
+			zero := area.bottom - (0-lo)/(hi-lo)*area.height()
+			top, height := y, zero-y
+			if height < 0 {
+				top, height = zero, -height
+			}
+			c.rect(x, top, barW, height, colour)
+		}
+		ly := 50 + float64(si)*16
+		c.rect(area.right-140, ly-8, 10, 10, colour)
+		c.text(area.right-125, ly, 11, "start", s.Name)
+	}
+	return c.String(), nil
+}
+
+// drawAxes draws the frame, Y ticks, and X labels.
+func drawAxes(c *canvas, area chartArea, lo, hi float64, xLabels []string) {
+	c.line(area.left, area.top, area.left, area.bottom, "#333", 1)
+	c.line(area.left, area.bottom, area.right, area.bottom, "#333", 1)
+	const ticks = 5
+	for t := 0; t <= ticks; t++ {
+		v := lo + (hi-lo)*float64(t)/ticks
+		y := area.bottom - float64(t)/ticks*area.height()
+		c.line(area.left-4, y, area.left, y, "#333", 1)
+		c.text(area.left-8, y+4, 10, "end", trimFloat(v))
+	}
+	step := 1
+	if len(xLabels) > 12 {
+		step = len(xLabels) / 12
+	}
+	for i := 0; i < len(xLabels); i += step {
+		x := area.left + float64(i)/math.Max(1, float64(len(xLabels)-1))*area.width()
+		c.text(x, area.bottom+16, 10, "middle", xLabels[i])
+	}
+}
+
+// Radar renders one polygon per row over the shared axes (the paper's
+// Fig 10 cluster-centre plots).
+func Radar(title string, axes []string, rows []Series) (string, error) {
+	if len(axes) < 3 {
+		return "", errors.New("svgplot: radar needs at least 3 axes")
+	}
+	if len(rows) == 0 {
+		return "", errors.New("svgplot: no rows")
+	}
+	for _, r := range rows {
+		if len(r.Values) != len(axes) {
+			return "", fmt.Errorf("svgplot: row %q has %d values for %d axes", r.Name, len(r.Values), len(axes))
+		}
+	}
+
+	c := newCanvas(520, 520)
+	cx, cy, radius := 260.0, 270.0, 180.0
+	c.text(260, 24, 16, "middle", title)
+
+	// Value range symmetric around 0 so sign is visible.
+	var maxAbs float64
+	for _, r := range rows {
+		for _, v := range r.Values {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+
+	angle := func(i int) float64 {
+		return -math.Pi/2 + 2*math.Pi*float64(i)/float64(len(axes))
+	}
+	point := func(i int, v float64) [2]float64 {
+		// Map [-maxAbs, +maxAbs] to [0.1, 1] of the radius.
+		frac := 0.1 + 0.9*(v+maxAbs)/(2*maxAbs)
+		return [2]float64{cx + radius*frac*math.Cos(angle(i)), cy + radius*frac*math.Sin(angle(i))}
+	}
+
+	// Grid: axes spokes and the zero ring.
+	var zero [][2]float64
+	for i := range axes {
+		tip := point(i, maxAbs)
+		c.line(cx, cy, tip[0], tip[1], "#ddd", 1)
+		c.text(tip[0], tip[1]-4, 9, "middle", axes[i])
+		zero = append(zero, point(i, 0))
+	}
+	c.polyline(zero, "#bbb", 1, true)
+
+	for ri, r := range rows {
+		colour := palette[ri%len(palette)]
+		var pts [][2]float64
+		for i, v := range r.Values {
+			pts = append(pts, point(i, v))
+		}
+		c.polyline(pts, colour, 1.5, true)
+	}
+	return c.String(), nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,135 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// assertWellFormed parses the SVG as XML.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg, err := LineChart("Fig 7", []string{"1", "2", "3"}, []Series{
+		{Name: "cumulative", Values: []float64{0.5, 0.8, 0.95}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("line chart has no polyline")
+	}
+	if !strings.Contains(svg, "Fig 7") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(svg, "cumulative") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := LineChart("t", []string{"a", "b"}, nil); err == nil {
+		t.Error("no series did not error")
+	}
+	if _, err := LineChart("t", []string{"a"}, []Series{{Name: "s", Values: []float64{1}}}); err == nil {
+		t.Error("single x position did not error")
+	}
+	if _, err := LineChart("t", []string{"a", "b"}, []Series{{Name: "s", Values: []float64{1}}}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg, err := BarChart("Fig 2", []string{"DA", "DC"}, []Series{
+		{Name: "load-testing", Values: []float64{13.8, 20.4}},
+		{Name: "datacenter", Values: []float64{17.3, 21.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	// 4 data bars + background + 2 legend swatches.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Errorf("bar chart has %d rects, want 7", got)
+	}
+}
+
+func TestBarChartNegativeValues(t *testing.T) {
+	svg, err := BarChart("neg", []string{"a"}, []Series{{Name: "s", Values: []float64{-3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	// Negative heights would be invalid SVG; ensure none are emitted.
+	if strings.Contains(svg, `height="-`) {
+		t.Error("negative bar height emitted")
+	}
+}
+
+func TestRadar(t *testing.T) {
+	svg, err := Radar("Fig 10", []string{"pc0", "pc1", "pc2", "pc3"}, []Series{
+		{Name: "cluster0", Values: []float64{1, -0.5, 0.2, 0}},
+		{Name: "cluster1", Values: []float64{-1, 0.5, 0.8, -0.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	if got := strings.Count(svg, "<polygon"); got != 3 { // zero ring + 2 rows
+		t.Errorf("radar has %d polygons, want 3", got)
+	}
+	for _, axis := range []string{"pc0", "pc3"} {
+		if !strings.Contains(svg, axis) {
+			t.Errorf("axis label %s missing", axis)
+		}
+	}
+}
+
+func TestRadarValidation(t *testing.T) {
+	if _, err := Radar("t", []string{"a", "b"}, []Series{{Name: "r", Values: []float64{1, 2}}}); err == nil {
+		t.Error("2 axes did not error")
+	}
+	if _, err := Radar("t", []string{"a", "b", "c"}, nil); err == nil {
+		t.Error("no rows did not error")
+	}
+	if _, err := Radar("t", []string{"a", "b", "c"}, []Series{{Name: "r", Values: []float64{1}}}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg, err := LineChart(`<&"> title`, []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	if strings.Contains(svg, `<&"> title`) {
+		t.Error("special characters not escaped")
+	}
+}
+
+func TestRadarAllZeroValues(t *testing.T) {
+	svg, err := Radar("z", []string{"a", "b", "c"}, []Series{{Name: "r", Values: []float64{0, 0, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormed(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Error("all-zero radar produced NaN coordinates")
+	}
+}

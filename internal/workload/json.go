@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profileJSON is the serialisation schema of one job profile. Field names
+// follow the Profile documentation; see DefaultCatalog for reference
+// values.
+type profileJSON struct {
+	Name             string  `json:"name"`
+	Long             string  `json:"long,omitempty"`
+	Class            string  `json:"class"` // "HP" or "LP"
+	MemoryGB         float64 `json:"memory_gb"`
+	InherentMIPS     float64 `json:"inherent_mips"`
+	BaseIPC          float64 `json:"base_ipc"`
+	WorkingSetMB     float64 `json:"working_set_mb"`
+	LLCAPKI          float64 `json:"llc_apki"`
+	ColdMissFrac     float64 `json:"cold_miss_frac"`
+	MissCurve        float64 `json:"miss_curve"`
+	FrontendBound    float64 `json:"frontend_bound"`
+	BadSpeculation   float64 `json:"bad_speculation"`
+	BackendBound     float64 `json:"backend_bound"`
+	Retiring         float64 `json:"retiring"`
+	BranchMPKI       float64 `json:"branch_mpki"`
+	L1MPKI           float64 `json:"l1_mpki"`
+	L2MPKI           float64 `json:"l2_mpki"`
+	ALUFrac          float64 `json:"alu_frac"`
+	FreqSensitivity  float64 `json:"freq_sensitivity"`
+	SMTYield         float64 `json:"smt_yield"`
+	PhaseVariability float64 `json:"phase_variability"`
+	NetworkMbps      float64 `json:"network_mbps"`
+	DiskMBps         float64 `json:"disk_mbps"`
+	CtxSwitchPerSec  float64 `json:"ctx_switch_per_sec"`
+	PageFaultPerSec  float64 `json:"page_fault_per_sec"`
+}
+
+func toJSON(p Profile) profileJSON {
+	return profileJSON{
+		Name: p.Name, Long: p.Long, Class: p.Class.String(),
+		MemoryGB: p.MemoryGB, InherentMIPS: p.InherentMIPS, BaseIPC: p.BaseIPC,
+		WorkingSetMB: p.WorkingSetMB, LLCAPKI: p.LLCAPKI,
+		ColdMissFrac: p.ColdMissFrac, MissCurve: p.MissCurve,
+		FrontendBound: p.FrontendBound, BadSpeculation: p.BadSpeculation,
+		BackendBound: p.BackendBound, Retiring: p.Retiring,
+		BranchMPKI: p.BranchMPKI, L1MPKI: p.L1MPKI, L2MPKI: p.L2MPKI,
+		ALUFrac: p.ALUFrac, FreqSensitivity: p.FreqSensitivity,
+		SMTYield: p.SMTYield, PhaseVariability: p.PhaseVariability,
+		NetworkMbps: p.NetworkMbps, DiskMBps: p.DiskMBps,
+		CtxSwitchPerSec: p.CtxSwitchPerSec, PageFaultPerSec: p.PageFaultPerSec,
+	}
+}
+
+func fromJSON(j profileJSON) (Profile, error) {
+	var class Class
+	switch j.Class {
+	case "HP":
+		class = ClassHP
+	case "LP":
+		class = ClassLP
+	default:
+		return Profile{}, fmt.Errorf("workload: profile %q has class %q, want HP or LP", j.Name, j.Class)
+	}
+	return Profile{
+		Name: j.Name, Long: j.Long, Class: class,
+		MemoryGB: j.MemoryGB, InherentMIPS: j.InherentMIPS, BaseIPC: j.BaseIPC,
+		WorkingSetMB: j.WorkingSetMB, LLCAPKI: j.LLCAPKI,
+		ColdMissFrac: j.ColdMissFrac, MissCurve: j.MissCurve,
+		FrontendBound: j.FrontendBound, BadSpeculation: j.BadSpeculation,
+		BackendBound: j.BackendBound, Retiring: j.Retiring,
+		BranchMPKI: j.BranchMPKI, L1MPKI: j.L1MPKI, L2MPKI: j.L2MPKI,
+		ALUFrac: j.ALUFrac, FreqSensitivity: j.FreqSensitivity,
+		SMTYield: j.SMTYield, PhaseVariability: j.PhaseVariability,
+		NetworkMbps: j.NetworkMbps, DiskMBps: j.DiskMBps,
+		CtxSwitchPerSec: j.CtxSwitchPerSec, PageFaultPerSec: j.PageFaultPerSec,
+	}, nil
+}
+
+// WriteJSON serialises the catalog so site-specific job profiles can be
+// versioned and shared.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	out := make([]profileJSON, 0, c.Len())
+	for _, p := range c.Profiles() {
+		out = append(out, toJSON(p))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("workload: encoding catalog: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserialises and validates a catalog written by WriteJSON (or
+// hand-authored for a site's own jobs).
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var raw []profileJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding catalog: %w", err)
+	}
+	profiles := make([]Profile, 0, len(raw))
+	for _, j := range raw {
+		p, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	return NewCatalog(profiles)
+}

@@ -1,0 +1,130 @@
+// Package workload defines the datacenter job catalog: the eight
+// CloudSuite-style High Priority (HP) services and six SPEC CPU2006-style
+// Low Priority (LP) batch jobs of the paper's Table 3, each with a
+// microarchitectural profile that drives the contention model.
+//
+// A profile describes one *instance* of a job: a 4-vCPU container, the
+// scheduling unit of the simulated datacenter (Sec 5.1). Jobs needing more
+// compute run multiple identical instances.
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class distinguishes managed High Priority services from free-quota Low
+// Priority batch jobs. Only HP performance counts toward the datacenter
+// performance metric (Sec 5.1, "Defining the performance").
+type Class int
+
+// Job classes.
+const (
+	ClassHP Class = iota + 1 // High Priority: performance is managed
+	ClassLP                  // Low Priority: runs on free quota, ignored in perf
+)
+
+// String returns "HP" or "LP".
+func (c Class) String() string {
+	switch c {
+	case ClassHP:
+		return "HP"
+	case ClassLP:
+		return "LP"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// InstanceVCPUs is the vCPU allocation of every job instance. The paper's
+// datacenter schedules fixed-size 4-vCPU containers, which is what gives
+// machine occupancy its step-like shape (Fig 3a).
+const InstanceVCPUs = 4
+
+// Profile is the microarchitectural and resource signature of one job
+// instance. The fields feed the perfmodel contention model; they are
+// calibrated to published characterisations of CloudSuite [Ferdman et al.,
+// ASPLOS'12] and SPEC CPU2006 [Phansalkar et al., ISCA'07].
+type Profile struct {
+	Name  string // short code, e.g. "DC" or "mcf"
+	Long  string // human-readable name, e.g. "Data Caching (memcached)"
+	Class Class  // HP or LP
+
+	MemoryGB float64 // DRAM footprint per instance
+
+	// Core execution profile.
+	InherentMIPS float64 // throughput per instance, alone on an empty default machine
+	BaseIPC      float64 // per-core IPC with a private LLC and no contention
+
+	// Cache behaviour.
+	WorkingSetMB float64 // LLC working-set size per instance
+	LLCAPKI      float64 // LLC accesses per kilo-instruction
+	ColdMissFrac float64 // compulsory-miss floor of the miss-ratio curve in [0,1)
+	MissCurve    float64 // steepness of the miss-ratio curve (>0); higher = more cache-friendly
+
+	// Top-down-style bottleneck fractions; should sum to roughly 1.
+	FrontendBound  float64 // fetch/decode stalls
+	BadSpeculation float64 // wasted slots from mispredicts
+	BackendBound   float64 // core + memory stalls
+	Retiring       float64 // useful work
+
+	// Secondary counters.
+	BranchMPKI float64 // branch mispredictions per kilo-instruction
+	L1MPKI     float64 // L1D misses per kilo-instruction
+	L2MPKI     float64 // L2 misses per kilo-instruction
+	ALUFrac    float64 // fraction of uops using ALU ports (drives SMT contention)
+
+	// Scaling behaviour.
+	FreqSensitivity float64 // in [0,1]: fraction of runtime that scales with clock
+	SMTYield        float64 // in (0.5,1]: per-thread throughput multiplier when sharing a core
+
+	// PhaseVariability in [0,1] is the amplitude of the job's temporal
+	// load swings (diurnal request rates for serving jobs, phase changes
+	// for batch jobs). It drives the optional ±stddev "temporal" metrics
+	// of paper Sec 4.1.
+	PhaseVariability float64
+
+	// I/O demands per instance.
+	NetworkMbps float64 // NIC bandwidth demand
+	DiskMBps    float64 // storage bandwidth demand
+
+	// OS-level rates per second, reported by the software monitors.
+	CtxSwitchPerSec float64
+	PageFaultPerSec float64
+}
+
+// Validate checks the profile invariants the contention model relies on.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("workload: profile has empty name")
+	case p.Class != ClassHP && p.Class != ClassLP:
+		return fmt.Errorf("workload: profile %s has invalid class %d", p.Name, p.Class)
+	case p.InherentMIPS <= 0:
+		return fmt.Errorf("workload: profile %s has non-positive inherent MIPS", p.Name)
+	case p.BaseIPC <= 0:
+		return fmt.Errorf("workload: profile %s has non-positive base IPC", p.Name)
+	case p.WorkingSetMB <= 0:
+		return fmt.Errorf("workload: profile %s has non-positive working set", p.Name)
+	case p.LLCAPKI < 0:
+		return fmt.Errorf("workload: profile %s has negative LLC APKI", p.Name)
+	case p.ColdMissFrac < 0 || p.ColdMissFrac >= 1:
+		return fmt.Errorf("workload: profile %s has cold-miss fraction %v outside [0,1)", p.Name, p.ColdMissFrac)
+	case p.MissCurve <= 0:
+		return fmt.Errorf("workload: profile %s has non-positive miss-curve steepness", p.Name)
+	case p.FreqSensitivity < 0 || p.FreqSensitivity > 1:
+		return fmt.Errorf("workload: profile %s has frequency sensitivity %v outside [0,1]", p.Name, p.FreqSensitivity)
+	case p.SMTYield <= 0.5 || p.SMTYield > 1:
+		return fmt.Errorf("workload: profile %s has SMT yield %v outside (0.5,1]", p.Name, p.SMTYield)
+	case p.PhaseVariability < 0 || p.PhaseVariability > 1:
+		return fmt.Errorf("workload: profile %s has phase variability %v outside [0,1]", p.Name, p.PhaseVariability)
+	}
+	sum := p.FrontendBound + p.BadSpeculation + p.BackendBound + p.Retiring
+	if sum < 0.95 || sum > 1.05 {
+		return fmt.Errorf("workload: profile %s top-down fractions sum to %v, want ~1", p.Name, sum)
+	}
+	return nil
+}
+
+// IsHP reports whether the profile is a High Priority service.
+func (p Profile) IsHP() bool { return p.Class == ClassHP }
