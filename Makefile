@@ -1,0 +1,46 @@
+# Development entry points for the FLARE reproduction. `make check` is
+# the tier-1 gate (vet + build + tests); `make race` adds the race
+# detector over the concurrency-sensitive packages and the full tree;
+# `make bench-stages` records diffable per-stage pipeline timings.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-stages fmt clean
+
+all: check
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass. The obs registry/tracer and the server's
+# singleflight cache are the concurrency hot spots; the full ./... run
+# keeps everything else honest too.
+race:
+	$(GO) test -race ./...
+
+# Full experiment benchmark suite (regenerates every paper table).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Per-stage pipeline timings plus the metrics.Vector.Get micro-benchmark,
+# recorded under results/ so successive runs can be diffed (benchstat or
+# plain diff) to catch stage-level regressions.
+bench-stages:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStages' -benchtime 3x . \
+		| tee results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkVectorGet' ./internal/metrics \
+		| tee -a results/bench-stages.txt
+
+fmt:
+	gofmt -w $$(git ls-files '*.go')
+
+clean:
+	$(GO) clean ./...

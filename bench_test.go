@@ -10,11 +10,17 @@
 package flare
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
+	"flare/internal/core"
+	"flare/internal/dcsim"
 	"flare/internal/experiments"
+	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/report"
 )
 
@@ -80,6 +86,61 @@ func BenchmarkEnvironmentBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(e.Scenarios().Len()), "scenarios")
+	}
+}
+
+// BenchmarkPipelineStages runs the full pipeline under a tracer and
+// reports each instrumented stage's mean wall time as a benchmark metric
+// (pipeline.profile-ms, analyze.kmeans-ms, ...). `make bench-stages`
+// records the output under results/ so per-stage timings are diffable
+// across changes with benchstat or plain diff.
+func BenchmarkPipelineStages(b *testing.B) {
+	stageMs := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		tracer := obs.NewTracer(obs.NewRegistry())
+		ctx := obs.WithTracer(context.Background(), tracer)
+
+		simCfg := dcsim.DefaultConfig()
+		simCfg.Seed = 1
+		simCfg.Duration = 10 * 24 * time.Hour
+		trace, err := dcsim.Run(simCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Profile.Seed = 1
+		cfg.Analyze.Seed = 1
+		cfg.Analyze.Clusters = 18
+		cfg.Replay.Seed = 1
+		p, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.ProfileContext(ctx, trace.Scenarios); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.AnalyzeContext(ctx); err != nil {
+			b.Fatal(err)
+		}
+		for _, feat := range machine.PaperFeatures() {
+			if _, err := p.EvaluateFeatureContext(ctx, feat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, root := range tracer.Snapshot() {
+			accumulateStageMs(root, stageMs)
+		}
+	}
+	for stage, ms := range stageMs {
+		b.ReportMetric(ms/float64(b.N), stage+"-ms")
+	}
+}
+
+// accumulateStageMs sums span durations per stage name across a subtree.
+func accumulateStageMs(s obs.SpanSnapshot, into map[string]float64) {
+	into[s.Name] += s.DurationMs
+	for _, c := range s.Children {
+		accumulateStageMs(c, into)
 	}
 }
 

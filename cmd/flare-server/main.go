@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1]
+//	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1] [-quiet-requests]
 //
 // Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
-// /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC].
+// /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC],
+// /api/plan, /metrics (Prometheus text), /api/trace (span trees), and
+// /debug/pprof/. The pipeline build itself runs under the server's
+// tracer, so its Profile/Analyze stage timings are scrapeable at
+// /metrics and inspectable at /api/trace from the first request.
 // The process shuts down gracefully on SIGINT/SIGTERM.
 package main
 
@@ -15,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -24,6 +29,7 @@ import (
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/server"
 )
 
@@ -39,7 +45,15 @@ func run() error {
 	days := flag.Int("days", 14, "simulated collection window in days")
 	clusters := flag.Int("clusters", 18, "representative count")
 	seed := flag.Int64("seed", 1, "random seed")
+	quiet := flag.Bool("quiet-requests", false, "disable per-request log lines")
 	flag.Parse()
+
+	// The pipeline build runs under the same tracer the server exposes,
+	// so /api/trace shows the build span tree and /metrics its timings.
+	reg := obs.Default()
+	tracer := obs.NewTracer(reg)
+	ctx := obs.WithTracer(context.Background(), tracer)
+	ctx, buildSpan := obs.StartSpan(ctx, "server.build")
 
 	fmt.Printf("building pipeline (%d-day trace)...\n", *days)
 	simCfg := dcsim.DefaultConfig()
@@ -49,6 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	buildSpan.SetAttr("scenarios", trace.Scenarios.Len())
 	cfg := core.DefaultConfig()
 	cfg.Profile.Seed = *seed
 	cfg.Analyze.Seed = *seed
@@ -57,18 +72,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := p.Profile(trace.Scenarios); err != nil {
+	if err := p.ProfileContext(ctx, trace.Scenarios); err != nil {
 		return err
 	}
-	if err := p.Analyze(); err != nil {
+	if err := p.AnalyzeContext(ctx); err != nil {
 		return err
 	}
-	srv, err := server.New(p, machine.PaperFeatures())
+	buildSpan.End()
+	srv, err := server.NewWithTelemetry(p, machine.PaperFeatures(), reg, tracer)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pipeline ready: %d scenarios, %d representatives\n",
-		trace.Scenarios.Len(), len(p.Representatives()))
+	if !*quiet {
+		srv.Logger = log.New(os.Stdout, "", log.LstdFlags)
+	}
+	fmt.Printf("pipeline ready: %d scenarios, %d representatives (built in %s)\n",
+		trace.Scenarios.Len(), len(p.Representatives()), buildSpan.Duration().Round(time.Millisecond))
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -5,22 +5,28 @@
 //
 // Usage:
 //
-//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-per-job] [-v]
+//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-per-job] [-v] [-trace-out trace.json]
 //
 // With -scenarios, the population is loaded from a JSON file written by
-// the dcsim command instead of being re-simulated.
+// the dcsim command instead of being re-simulated. With -trace-out, the
+// run's span tree (every pipeline stage with timings and attributes) is
+// written as JSON; -v additionally prints a per-stage timing summary, so
+// batch runs get the same visibility as the server's /api/trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"flare/internal/clustertrace"
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/perfscore"
 	"flare/internal/replayer"
 	"flare/internal/scenario"
@@ -46,6 +52,7 @@ func run() error {
 	planIn := flag.String("plan", "", "skip profiling/analysis and estimate from a previously exported plan")
 	catalogPath := flag.String("catalog", "", "load a site-specific job catalog from this JSON file")
 	catalogOut := flag.String("catalog-out", "", "write the default job catalog as JSON (template for -catalog) and exit")
+	traceOut := flag.String("trace-out", "", "write the run's span-tree telemetry to this JSON file")
 	flag.Parse()
 
 	if *catalogOut != "" {
@@ -65,10 +72,16 @@ func run() error {
 		return estimateFromPlan(*planIn, *seed, *perJob)
 	}
 
-	set, err := loadScenarios(*scenariosPath, *traceCSV, *days, *seed)
+	// The whole run is one root span; each stage below nests under it.
+	tracer := obs.NewTracer(obs.NewRegistry())
+	ctx := obs.WithTracer(context.Background(), tracer)
+	ctx, root := obs.StartSpan(ctx, "flare.run")
+
+	set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed)
 	if err != nil {
 		return err
 	}
+	root.SetAttr("scenarios", set.Len())
 	fmt.Printf("scenario population: %d distinct colocations\n", set.Len())
 
 	cfg := core.DefaultConfig()
@@ -95,11 +108,11 @@ func run() error {
 		return err
 	}
 	fmt.Println("profiling every scenario (step 1)...")
-	if err := p.Profile(set); err != nil {
+	if err := p.ProfileContext(ctx, set); err != nil {
 		return err
 	}
 	fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
-	if err := p.Analyze(); err != nil {
+	if err := p.AnalyzeContext(ctx); err != nil {
 		return err
 	}
 
@@ -141,7 +154,7 @@ func run() error {
 
 	fmt.Println("\nestimating feature impacts with the representatives (step 4):")
 	for _, feat := range machine.PaperFeatures() {
-		est, err := p.EvaluateFeature(feat)
+		est, err := p.EvaluateFeatureContext(ctx, feat)
 		if err != nil {
 			return err
 		}
@@ -152,14 +165,59 @@ func run() error {
 			continue
 		}
 		for _, prof := range cfg.Jobs.HPJobs() {
-			jest, err := p.EvaluateFeatureForJob(feat, prof.Name)
+			jest, err := p.EvaluateFeatureForJobContext(ctx, feat, prof.Name)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("      %-4s %5.2f%%\n", prof.Name, jest.ReductionPct)
 		}
 	}
+	root.End()
+
+	if *verbose {
+		fmt.Println("\nstage timings:")
+		for _, r := range tracer.Snapshot() {
+			printStageTimings(r, 1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote span-tree telemetry to %s\n", *traceOut)
+	}
 	return nil
+}
+
+// printStageTimings renders one span subtree as an indented duration
+// summary. Runs of identically named siblings (per-representative
+// replays) are folded into one "xN" line to keep -v output readable.
+func printStageTimings(s obs.SpanSnapshot, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Printf("%s%-*s %9.1f ms\n", indent, 34-2*depth, s.Name, s.DurationMs)
+	for i := 0; i < len(s.Children); {
+		j := i
+		var totalMs float64
+		for j < len(s.Children) && s.Children[j].Name == s.Children[i].Name {
+			totalMs += s.Children[j].DurationMs
+			j++
+		}
+		if j-i > 1 {
+			name := fmt.Sprintf("%s x%d", s.Children[i].Name, j-i)
+			fmt.Printf("%s  %-*s %9.1f ms\n", indent, 34-2*(depth+1), name, totalMs)
+		} else {
+			printStageTimings(s.Children[i], depth+1)
+		}
+		i = j
+	}
 }
 
 // estimateFromPlan evaluates the paper features against an exported plan:
@@ -208,7 +266,9 @@ func estimateFromPlan(path string, seed int64, perJob bool) error {
 	return nil
 }
 
-func loadScenarios(path, traceCSV string, days int, seed int64) (*scenario.Set, error) {
+func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, seed int64) (*scenario.Set, error) {
+	_, span := obs.StartSpan(ctx, "flare.load_scenarios")
+	defer span.End()
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {

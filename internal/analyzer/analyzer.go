@@ -10,6 +10,7 @@
 package analyzer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"flare/internal/kmeans"
 	"flare/internal/linalg"
 	"flare/internal/mathx"
+	"flare/internal/obs"
 	"flare/internal/pca"
 	"flare/internal/profiler"
 	"flare/internal/refine"
@@ -136,6 +138,14 @@ type Analysis struct {
 
 // Analyze runs the full Analyzer pipeline on a profiled dataset.
 func Analyze(ds *profiler.Dataset, opts Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), ds, opts)
+}
+
+// AnalyzeContext is Analyze with span tracing: each stage (refine, PCA,
+// projection, cluster sweep, clustering, representative extraction)
+// records its own sub-span with the quantities the paper reports —
+// metric counts, PC count, k, Lloyd iterations.
+func AnalyzeContext(ctx context.Context, ds *profiler.Dataset, opts Options) (*Analysis, error) {
 	if ds == nil || ds.Matrix == nil {
 		return nil, errors.New("analyzer: nil dataset")
 	}
@@ -170,32 +180,45 @@ func Analyze(ds *profiler.Dataset, opts Options) (*Analysis, error) {
 	if opts.SkipRefine {
 		an.RefinedNames = names
 	} else {
+		_, rspan := obs.StartSpan(ctx, "analyze.refine")
+		rspan.SetAttr("raw_metrics", len(names))
 		ref, err := refine.Refine(matrix, names, opts.CorrelationThreshold)
 		if err != nil {
+			rspan.End()
 			return nil, fmt.Errorf("analyzer: refinement: %w", err)
 		}
 		matrix, err = ref.Apply(matrix)
 		if err != nil {
+			rspan.End()
 			return nil, fmt.Errorf("analyzer: refinement: %w", err)
 		}
 		an.Refined = ref
 		an.RefinedNames = ref.Names
+		rspan.SetAttr("refined_metrics", len(ref.Names))
+		rspan.End()
 	}
 
 	// Step 2: high-level metric construction.
+	_, pspan := obs.StartSpan(ctx, "analyze.pca")
 	model, err := pca.Fit(matrix, opts.VarianceTarget)
 	if err != nil {
+		pspan.End()
 		return nil, fmt.Errorf("analyzer: PCA: %w", err)
 	}
 	an.PCA = model
+	pspan.SetAttr("principal_components", model.NumPC)
 	labels, err := pca.LabelComponents(model, an.RefinedNames, ds.Catalog, 6)
 	if err != nil {
+		pspan.End()
 		return nil, fmt.Errorf("analyzer: labelling: %w", err)
 	}
 	an.Labels = labels
+	pspan.End()
 
+	_, jspan := obs.StartSpan(ctx, "analyze.project")
 	scores, err := model.Transform(matrix)
 	if err != nil {
+		jspan.End()
 		return nil, fmt.Errorf("analyzer: projection: %w", err)
 	}
 	an.WhitenScales = make([]float64, scores.Cols())
@@ -206,34 +229,57 @@ func Analyze(ds *profiler.Dataset, opts Options) (*Analysis, error) {
 		scores, an.WhitenScales = whiten(scores)
 	}
 	an.Scores = scores
+	jspan.SetAttr("whitened", !opts.SkipWhiten)
+	jspan.End()
 
 	// Step 3: clustering.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	kopts := kmeans.Options{Rand: rng, Restarts: opts.Restarts}
 	k := opts.Clusters
 	if k <= 0 {
+		_, sspan := obs.StartSpan(ctx, "analyze.sweep")
 		sweepMax := opts.SweepMax
 		if sweepMax > scores.Rows() {
 			sweepMax = scores.Rows()
 		}
+		sspan.SetAttr("k_min", opts.SweepMin)
+		sspan.SetAttr("k_max", sweepMax)
 		sweep, err := kmeans.Sweep(scores, opts.SweepMin, sweepMax, kopts)
 		if err != nil {
+			sspan.End()
 			return nil, fmt.Errorf("analyzer: cluster sweep: %w", err)
 		}
 		an.Sweep = sweep
 		k, err = kmeans.KneeK(sweep, 0.12)
 		if err != nil {
+			sspan.End()
 			return nil, fmt.Errorf("analyzer: knee selection: %w", err)
 		}
+		sspan.SetAttr("knee_k", k)
+		sspan.End()
 	}
-	clustering, err := cluster(scores, k, opts.Method, kopts)
+	method := opts.Method
+	if method == 0 {
+		method = MethodKMeans
+	}
+	_, cspan := obs.StartSpan(ctx, "analyze."+method.String())
+	cspan.SetAttr("k", k)
+	cspan.SetAttr("scenarios", scores.Rows())
+	clustering, err := cluster(scores, k, method, kopts)
 	if err != nil {
+		cspan.End()
 		return nil, fmt.Errorf("analyzer: clustering: %w", err)
 	}
 	an.Clustering = clustering
+	cspan.SetAttr("iterations", clustering.Iters)
+	cspan.SetAttr("sse", clustering.SSE)
+	cspan.End()
 
 	// Step 4: representative extraction.
+	_, xspan := obs.StartSpan(ctx, "analyze.representatives")
 	an.Representatives = extractRepresentatives(scores, clustering)
+	xspan.SetAttr("representatives", len(an.Representatives))
+	xspan.End()
 	return an, nil
 }
 

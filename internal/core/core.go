@@ -12,12 +12,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"flare/internal/analyzer"
 	"flare/internal/machine"
 	"flare/internal/metrics"
+	"flare/internal/obs"
 	"flare/internal/perfscore"
 	"flare/internal/profiler"
 	"flare/internal/replayer"
@@ -85,7 +87,19 @@ func New(cfg Config) (*Pipeline, error) {
 // Profile runs FLARE step 1: measure every scenario in the population on
 // the baseline machine and build the raw metric matrix.
 func (p *Pipeline) Profile(set *scenario.Set) error {
-	ds, err := profiler.Collect(p.cfg.Machine, set, p.cfg.Jobs, p.cfg.Metrics, p.cfg.Profile)
+	return p.ProfileContext(context.Background(), set)
+}
+
+// ProfileContext is Profile with span tracing: when ctx carries an
+// obs.Tracer the stage records a "pipeline.profile" span (with profiler
+// sub-spans) and its duration lands in the stage-timing histogram.
+func (p *Pipeline) ProfileContext(ctx context.Context, set *scenario.Set) error {
+	ctx, span := obs.StartSpan(ctx, "pipeline.profile")
+	defer span.End()
+	if set != nil {
+		span.SetAttr("scenarios", set.Len())
+	}
+	ds, err := profiler.CollectContext(ctx, p.cfg.Machine, set, p.cfg.Jobs, p.cfg.Metrics, p.cfg.Profile)
 	if err != nil {
 		return fmt.Errorf("core: profiling: %w", err)
 	}
@@ -97,13 +111,23 @@ func (p *Pipeline) Profile(set *scenario.Set) error {
 // Analyze runs FLARE steps 2-3: metric refinement, PCA, clustering, and
 // representative extraction. Profile must have been called.
 func (p *Pipeline) Analyze() error {
+	return p.AnalyzeContext(context.Background())
+}
+
+// AnalyzeContext is Analyze with span tracing ("pipeline.analyze" plus
+// refine/PCA/cluster sub-spans).
+func (p *Pipeline) AnalyzeContext(ctx context.Context) error {
 	if p.dataset == nil {
 		return errors.New("core: Analyze called before Profile")
 	}
-	an, err := analyzer.Analyze(p.dataset, p.cfg.Analyze)
+	ctx, span := obs.StartSpan(ctx, "pipeline.analyze")
+	defer span.End()
+	an, err := analyzer.AnalyzeContext(ctx, p.dataset, p.cfg.Analyze)
 	if err != nil {
 		return fmt.Errorf("core: analysis: %w", err)
 	}
+	span.SetAttr("clusters", an.Clustering.K)
+	span.SetAttr("principal_components", an.PCA.NumPC)
 	p.analysis = an
 	return nil
 }
@@ -112,26 +136,46 @@ func (p *Pipeline) Analyze() error {
 // representatives under baseline and feature configurations and return
 // the weighted impact estimate. Analyze must have been called.
 func (p *Pipeline) EvaluateFeature(feat machine.Feature) (*replayer.Estimate, error) {
+	return p.EvaluateFeatureContext(context.Background(), feat)
+}
+
+// EvaluateFeatureContext is EvaluateFeature with span tracing
+// ("pipeline.evaluate" plus replay sub-spans).
+func (p *Pipeline) EvaluateFeatureContext(ctx context.Context, feat machine.Feature) (*replayer.Estimate, error) {
 	if p.analysis == nil {
 		return nil, errors.New("core: EvaluateFeature called before Analyze")
 	}
-	est, err := replayer.EstimateAllJob(p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, p.cfg.Replay)
+	ctx, span := obs.StartSpan(ctx, "pipeline.evaluate")
+	defer span.End()
+	span.SetAttr("feature", feat.Name)
+	est, err := replayer.EstimateAllJobContext(ctx, p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, p.cfg.Replay)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	span.SetAttr("scenarios_replayed", est.ScenariosReplayed)
 	return est, nil
 }
 
 // EvaluateFeatureForJob estimates a feature's impact on one HP job,
 // using the per-job fallback and instance weighting of Sec 5.3.
 func (p *Pipeline) EvaluateFeatureForJob(feat machine.Feature, job string) (*replayer.JobEstimate, error) {
+	return p.EvaluateFeatureForJobContext(context.Background(), feat, job)
+}
+
+// EvaluateFeatureForJobContext is EvaluateFeatureForJob with span tracing.
+func (p *Pipeline) EvaluateFeatureForJobContext(ctx context.Context, feat machine.Feature, job string) (*replayer.JobEstimate, error) {
 	if p.analysis == nil {
 		return nil, errors.New("core: EvaluateFeatureForJob called before Analyze")
 	}
-	est, err := replayer.EstimatePerJob(p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, job, p.cfg.Replay)
+	ctx, span := obs.StartSpan(ctx, "pipeline.evaluate_job")
+	defer span.End()
+	span.SetAttr("feature", feat.Name)
+	span.SetAttr("job", job)
+	est, err := replayer.EstimatePerJobContext(ctx, p.analysis, p.cfg.Jobs, p.inherent, p.cfg.Machine, feat, job, p.cfg.Replay)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	span.SetAttr("scenarios_replayed", est.ScenariosReplayed)
 	return est, nil
 }
 

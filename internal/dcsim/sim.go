@@ -27,6 +27,7 @@ import (
 	"flare/internal/clustertrace"
 	"flare/internal/machine"
 	"flare/internal/mathx"
+	"flare/internal/obs"
 	"flare/internal/scenario"
 	"flare/internal/workload"
 )
@@ -160,12 +161,35 @@ func Run(cfg Config) (*Trace, error) {
 	}
 	s := newSim(cfg)
 	s.run()
+	s.stats.record(cfg, s.scenarios.Len())
 	return &Trace{
 		Scenarios:  s.scenarios,
 		Stats:      s.stats,
 		PerMachine: s.perMachine,
 		Events:     s.events,
 	}, nil
+}
+
+// record publishes the run's scheduler activity to the default telemetry
+// registry, labelled by placement policy, so simulation work shows up at
+// /metrics alongside the pipeline stages it feeds.
+func (st Stats) record(cfg Config, scenarios int) {
+	policy := cfg.Scheduler
+	if policy == 0 {
+		policy = PolicyLeastUtilised
+	}
+	reg := obs.Default()
+	count := func(name, help string, v int) {
+		reg.Counter(name, help, "policy", policy.String()).Add(uint64(v))
+	}
+	count("flare_dcsim_resizes_total", "deployment resize events processed", st.Resizes)
+	count("flare_dcsim_placements_total", "instances placed on machines", st.Scheduled)
+	count("flare_dcsim_evictions_total", "instances removed by scale-downs", st.Evicted)
+	count("flare_dcsim_rejections_total", "placements denied for lack of capacity", st.Rejected)
+	count("flare_dcsim_transitions_total", "machine-state changes observed", st.Transitions)
+	reg.Gauge("flare_dcsim_scenarios",
+		"distinct colocation scenarios produced by the last simulation run",
+		"policy", policy.String()).Set(float64(scenarios))
 }
 
 // event is one deployment resize occurrence.

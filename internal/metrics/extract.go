@@ -13,10 +13,21 @@ import (
 type Vector struct {
 	Names  []string  // metric names (shared with the catalog)
 	Values []float64 // parallel values
+
+	// index maps name to position. Extract shares the catalog's immutable
+	// lookup map so Get is O(1); vectors built from struct literals leave
+	// it nil and fall back to a scan of Names.
+	index map[string]int
 }
 
 // Get returns the value of the named metric.
 func (v Vector) Get(name string) (float64, error) {
+	if v.index != nil {
+		if i, ok := v.index[name]; ok {
+			return v.Values[i], nil
+		}
+		return 0, fmt.Errorf("metrics: vector has no metric %q", name)
+	}
 	for i, n := range v.Names {
 		if n == name {
 			return v.Values[i], nil
@@ -31,6 +42,7 @@ func Extract(c *Catalog, cfg machine.Config, res perfmodel.Result) Vector {
 	v := Vector{
 		Names:  c.Names(),
 		Values: make([]float64, c.Len()),
+		index:  c.byName, // read-only after NewCatalog, safe to share
 	}
 	machineAgg := aggregate(res.Jobs, func(perfmodel.JobPerf) bool { return true })
 	hpAgg := aggregate(res.Jobs, func(j perfmodel.JobPerf) bool { return j.Class == workload.ClassHP })

@@ -1,0 +1,429 @@
+// Package obs is FLARE's self-measurement layer: a dependency-free
+// telemetry registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus-text and JSON exposition, and lightweight span tracing for
+// recording nested pipeline stage timings.
+//
+// The paper's whole argument is a cost/accuracy trade-off; obs is how the
+// reproduction measures its *own* cost. Every pipeline stage records a
+// span (surfaced at /api/trace and via flare -trace-out) and observes its
+// duration into the stage-timing histogram (surfaced at /metrics).
+//
+// The registry is safe for concurrent use. Metric identity is the metric
+// name plus an optional set of label pairs; repeated registrations of the
+// same identity return the same instrument, so hot paths can call
+// Registry.Counter(...)/Histogram(...) inline without caching handles.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType discriminates instrument families.
+type metricType int
+
+const (
+	typeCounter metricType = iota + 1
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []uint64  // per-bucket (non-cumulative) counts, len(bounds)+1
+	sum     float64
+	samples uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns bounds plus cumulative bucket counts (including +Inf).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cumulative[i] = acc
+	}
+	return bounds, cumulative, h.sum, h.samples
+}
+
+// DefaultLatencyBuckets spans 100µs to 60s, suitable both for HTTP
+// handlers and for multi-second pipeline stages.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// series is one labelled instrument within a family.
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabelled
+	inst   interface{}
+}
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name string
+	help string
+	typ  metricType
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry or use the package Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library code that has no
+// registry plumbed in (dcsim's scheduler counters) records here; the
+// flare-server surfaces it at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// family returns (creating if needed) the named family, panicking on a
+// type mismatch — mixing types under one name is a programming error the
+// exposition format cannot represent.
+func (r *Registry) family(name, help string, typ metricType) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// renderLabels builds the canonical {k="v",...} suffix from variadic
+// key/value pairs, sorting by key for a stable identity.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// get returns (creating via mk if needed) the series for the label set.
+func (f *family) get(kv []string, mk func() interface{}) interface{} {
+	key := renderLabels(kv)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key, inst: mk()}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s.inst
+}
+
+// Counter returns the counter for name and label pairs, registering it on
+// first use. labels are alternating key, value strings.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.family(name, help, typeCounter)
+	return f.get(labels, func() interface{} { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge for name and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.family(name, help, typeGauge)
+	return f.get(labels, func() interface{} { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram for name and label pairs. buckets are
+// ascending upper bounds; nil means DefaultLatencyBuckets. Buckets are
+// fixed by the first registration of the family's first series.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	f := r.family(name, help, typeHistogram)
+	return f.get(labels, func() interface{} {
+		if buckets == nil {
+			buckets = DefaultLatencyBuckets()
+		}
+		b := make([]float64, len(buckets))
+		copy(b, buckets)
+		sort.Float64s(b)
+		return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	}).(*Histogram)
+}
+
+// sortedFamilies returns families sorted by name for deterministic
+// exposition.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range sers {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch inst := s.inst.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, inst.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(inst.Value()))
+		return err
+	case *Histogram:
+		bounds, cum, sum, count := inst.snapshot()
+		for i, le := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, mergeLE(s.labels, formatFloat(le)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, mergeLE(s.labels, "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, count)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown instrument type %T", inst)
+	}
+}
+
+// mergeLE splices the le="..." label into an existing rendered label set.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float compactly ("0.005", not "5e-03"), matching
+// what scrapers expect for bucket bounds and sums.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SeriesSnapshot is one labelled series in a JSON snapshot.
+type SeriesSnapshot struct {
+	Labels string `json:"labels,omitempty"`
+	// Value holds the counter count or gauge value; nil for histograms.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns the registry contents as a JSON-marshallable value.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		fs := FamilySnapshot{Name: f.name, Type: f.typ.String(), Help: f.help}
+		for _, s := range sers {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch inst := s.inst.(type) {
+			case *Counter:
+				v := float64(inst.Value())
+				ss.Value = &v
+			case *Gauge:
+				v := inst.Value()
+				ss.Value = &v
+			case *Histogram:
+				bounds, cum, sum, count := inst.snapshot()
+				ss.Count = count
+				ss.Sum = sum
+				ss.Buckets = make(map[string]uint64, len(bounds)+1)
+				for i, le := range bounds {
+					ss.Buckets[formatFloat(le)] = cum[i]
+				}
+				ss.Buckets["+Inf"] = cum[len(cum)-1]
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

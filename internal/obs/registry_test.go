@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flare_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same identity returns the same instrument.
+	if r.Counter("flare_test_total", "a counter") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("flare_test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabelledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	hit := r.Counter("flare_cache_total", "cache lookups", "result", "hit")
+	miss := r.Counter("flare_cache_total", "cache lookups", "result", "miss")
+	if hit == miss {
+		t.Fatal("differently labelled series share a counter")
+	}
+	hit.Inc()
+	hit.Inc()
+	miss.Inc()
+	// Label order must not matter for identity.
+	alias := r.Counter("flare_multi_total", "x", "b", "2", "a", "1")
+	if alias != r.Counter("flare_multi_total", "x", "a", "1", "b", "2") {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("flare_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %v, want 56.05", h.Sum())
+	}
+	bounds, cum, _, _ := h.snapshot()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []uint64{1, 3, 4, 5} // cumulative: <=0.1, <=1, <=10, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flare_reqs_total", "requests", "path", "/healthz", "code", "200").Add(3)
+	r.Gauge("flare_scenarios", "population size").Set(448)
+	r.Histogram("flare_lat_seconds", "latency", []float64{0.5, 1}).Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP flare_reqs_total requests",
+		"# TYPE flare_reqs_total counter",
+		`flare_reqs_total{code="200",path="/healthz"} 3`,
+		"# TYPE flare_scenarios gauge",
+		"flare_scenarios 448",
+		"# TYPE flare_lat_seconds histogram",
+		`flare_lat_seconds_bucket{le="0.5"} 1`,
+		`flare_lat_seconds_bucket{le="1"} 1`,
+		`flare_lat_seconds_bucket{le="+Inf"} 1`,
+		"flare_lat_seconds_sum 0.25",
+		"flare_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flare_esc_total", "", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `{k="a\"b\\c\nd"}`) {
+		t.Errorf("label escaping wrong: %s", b.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flare_a_total", "help a").Add(7)
+	r.Histogram("flare_h_seconds", "", []float64{1}).Observe(2)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot families = %d, want 2", len(snap))
+	}
+	if snap[0].Name != "flare_a_total" || snap[0].Type != "counter" {
+		t.Errorf("family 0 = %+v", snap[0])
+	}
+	if *snap[0].Series[0].Value != 7 {
+		t.Errorf("counter value = %v", *snap[0].Series[0].Value)
+	}
+	h := snap[1].Series[0]
+	if h.Count != 1 || h.Buckets["+Inf"] != 1 || h.Buckets["1"] != 0 {
+		t.Errorf("histogram series = %+v", h)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("flare_x", "")
+	r.Gauge("flare_x", "")
+}
+
+// TestConcurrentRegistryAccess exercises every instrument from many
+// goroutines; run with -race.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("flare_conc_total", "c", "w", string(rune('a'+w%4))).Inc()
+				r.Gauge("flare_conc_gauge", "g").Add(1)
+				r.Histogram("flare_conc_seconds", "h", nil).Observe(float64(i) / 100)
+				if i%50 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("flare_conc_total", "c", "w", l).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := r.Histogram("flare_conc_seconds", "h", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("flare_conc_gauge", "g").Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+}

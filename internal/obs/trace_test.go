@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "pipeline")
+	root.SetAttr("scenarios", 448)
+	cctx, child := StartSpan(ctx, "analyze")
+	_, grand := StartSpan(cctx, "analyze.kmeans")
+	grand.SetAttr("k", 18)
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx, "evaluate")
+	sib.End()
+	root.End()
+
+	roots := tr.Snapshot()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.Name != "pipeline" || r.InFlight {
+		t.Errorf("root = %+v", r)
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0].Key != "scenarios" {
+		t.Errorf("root attrs = %+v", r.Attrs)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(r.Children))
+	}
+	if r.Children[0].Name != "analyze" || r.Children[1].Name != "evaluate" {
+		t.Errorf("child names = %s, %s", r.Children[0].Name, r.Children[1].Name)
+	}
+	k := r.Children[0].Children
+	if len(k) != 1 || k[0].Name != "analyze.kmeans" {
+		t.Fatalf("grandchildren = %+v", k)
+	}
+	if k[0].Attrs[0].Key != "k" || k[0].Attrs[0].Value != 18 {
+		t.Errorf("kmeans attrs = %+v", k[0].Attrs)
+	}
+}
+
+func TestSpanEndObservesStageHistogram(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "profile")
+	s.End()
+	s.End() // idempotent: must not double-observe
+
+	h := reg.Histogram(StageHistogram, "", nil, "stage", "profile")
+	if h.Count() != 1 {
+		t.Errorf("stage histogram count = %d, want 1", h.Count())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `flare_stage_duration_seconds_count{stage="profile"} 1`) {
+		t.Errorf("exposition missing stage series:\n%s", b.String())
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "untracked")
+	if s != nil {
+		t.Fatal("span without tracer should be nil")
+	}
+	s.SetAttr("k", 1)
+	s.End()
+	if d := s.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if n := s.Name(); n != "" {
+		t.Errorf("nil span name = %q", n)
+	}
+	// Children of a nil span are also nil.
+	_, c := StartSpan(ctx, "child")
+	if c != nil {
+		t.Error("child of untracked context should be nil")
+	}
+}
+
+func TestTracerRetainsBoundedRoots(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 40; i++ {
+		_, s := StartSpan(ctx, "r")
+		s.End()
+	}
+	if got := len(tr.Snapshot()); got != 32 {
+		t.Errorf("retained roots = %d, want 32", got)
+	}
+}
+
+func TestSetAttrOverrides(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "x")
+	s.SetAttr("k", 1)
+	s.SetAttr("k", 2)
+	s.End()
+	attrs := tr.Snapshot()[0].Attrs
+	if len(attrs) != 1 || attrs[0].Value != 2 {
+		t.Errorf("attrs = %+v", attrs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := WithTracer(context.Background(), tr)
+	sctx, s := StartSpan(ctx, "root")
+	_, c := StartSpan(sctx, "child")
+	c.End()
+	s.End()
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"roots"`, `"name": "root"`, `"name": "child"`, `"duration_ms"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("trace JSON missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestConcurrentSpans starts sibling spans from many goroutines under one
+// root while snapshots run; run with -race.
+func TestConcurrentSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := StartSpan(ctx, "root")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, s := StartSpan(rctx, "worker")
+				s.SetAttr("i", i)
+				_ = tr.Snapshot()
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 || len(snap[0].Children) != 8*50 {
+		t.Fatalf("root children = %d, want 400", len(snap[0].Children))
+	}
+}

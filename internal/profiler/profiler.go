@@ -11,6 +11,7 @@
 package profiler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,7 @@ import (
 	"flare/internal/machine"
 	"flare/internal/mathx"
 	"flare/internal/metrics"
+	"flare/internal/obs"
 	"flare/internal/perfmodel"
 	"flare/internal/scenario"
 	"flare/internal/stats"
@@ -80,6 +82,14 @@ type Dataset struct {
 // configuration.
 func Collect(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
 	cat *metrics.Catalog, opts Options) (*Dataset, error) {
+	return CollectContext(context.Background(), cfg, set, jobs, cat, opts)
+}
+
+// CollectContext is Collect with span tracing: a "profiler.collect" span
+// records the worker-pool fan-out (scenario count, workers, samples), and
+// the per-scenario measurement count lands in the default registry.
+func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
+	jobs *workload.Catalog, cat *metrics.Catalog, opts Options) (*Dataset, error) {
 	if set == nil || set.Len() == 0 {
 		return nil, errors.New("profiler: empty scenario set")
 	}
@@ -96,6 +106,12 @@ func Collect(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	_, span := obs.StartSpan(ctx, "profiler.collect")
+	defer span.End()
+	span.SetAttr("scenarios", set.Len())
+	span.SetAttr("workers", workers)
+	span.SetAttr("samples_per_scenario", opts.SamplesPerScenario)
 
 	ds := &Dataset{
 		Scenarios: set,
@@ -140,6 +156,11 @@ func Collect(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	obs.Default().Counter("flare_profiler_scenarios_total",
+		"scenarios measured by the profiler").Add(uint64(set.Len()))
+	obs.Default().Counter("flare_profiler_samples_total",
+		"noisy per-scenario measurements taken by the profiler").
+		Add(uint64(set.Len()) * uint64(opts.SamplesPerScenario))
 	return ds, nil
 }
 

@@ -10,12 +10,14 @@
 package replayer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"flare/internal/analyzer"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/perfscore"
 	"flare/internal/workload"
 )
@@ -64,9 +66,21 @@ type Estimate struct {
 // jobs from the analysis' representative scenarios.
 func EstimateAllJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore.Inherent,
 	base machine.Config, feat machine.Feature, opts Options) (*Estimate, error) {
+	return EstimateAllJobContext(context.Background(), an, cat, inh, base, feat, opts)
+}
+
+// EstimateAllJobContext is EstimateAllJob with span tracing: a
+// "replay.estimate" span with one "replay.scenario" sub-span per
+// representative replay, and replay counters in the default registry.
+func EstimateAllJobContext(ctx context.Context, an *analyzer.Analysis, cat *workload.Catalog,
+	inh *perfscore.Inherent, base machine.Config, feat machine.Feature, opts Options) (*Estimate, error) {
 	if an == nil || len(an.Representatives) == 0 {
 		return nil, errors.New("replayer: analysis has no representatives")
 	}
+	ctx, span := obs.StartSpan(ctx, "replay.estimate")
+	defer span.End()
+	span.SetAttr("feature", feat.Name)
+	span.SetAttr("representatives", len(an.Representatives))
 	est := &Estimate{Feature: feat.Name}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -76,11 +90,15 @@ func EstimateAllJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
+		_, rspan := obs.StartSpan(ctx, "replay.scenario")
+		rspan.SetAttr("cluster", rep.Cluster)
+		rspan.SetAttr("scenario_id", rep.ScenarioID)
 		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
 			NoiseStd: opts.ReconstructionNoiseStd,
 			Samples:  opts.Samples,
 			Rand:     rng,
 		})
+		rspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
@@ -97,6 +115,9 @@ func EstimateAllJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore
 	if weightSum > 0 {
 		est.ReductionPct /= weightSum
 	}
+	obs.Default().Counter("flare_replays_total",
+		"representative scenario replays", "mode", "all-job").
+		Add(uint64(est.ScenariosReplayed))
 	return est, nil
 }
 
@@ -123,12 +144,23 @@ type JobEstimate struct {
 // instances in the cluster — the likelihood of observing the job there.
 func EstimatePerJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore.Inherent,
 	base machine.Config, feat machine.Feature, job string, opts Options) (*JobEstimate, error) {
+	return EstimatePerJobContext(context.Background(), an, cat, inh, base, feat, job, opts)
+}
+
+// EstimatePerJobContext is EstimatePerJob with span tracing.
+func EstimatePerJobContext(ctx context.Context, an *analyzer.Analysis, cat *workload.Catalog,
+	inh *perfscore.Inherent, base machine.Config, feat machine.Feature, job string,
+	opts Options) (*JobEstimate, error) {
 	if an == nil || len(an.Representatives) == 0 {
 		return nil, errors.New("replayer: analysis has no representatives")
 	}
 	if _, err := cat.Lookup(job); err != nil {
 		return nil, fmt.Errorf("replayer: %w", err)
 	}
+	ctx, span := obs.StartSpan(ctx, "replay.estimate_per_job")
+	defer span.End()
+	span.SetAttr("feature", feat.Name)
+	span.SetAttr("job", job)
 	est := &JobEstimate{Feature: feat.Name, Job: job}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -164,11 +196,15 @@ func EstimatePerJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
+		_, rspan := obs.StartSpan(ctx, "replay.scenario")
+		rspan.SetAttr("cluster", rep.Cluster)
+		rspan.SetAttr("scenario_id", chosen)
 		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
 			NoiseStd: opts.ReconstructionNoiseStd,
 			Samples:  opts.Samples,
 			Rand:     rng,
 		})
+		rspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
@@ -191,5 +227,8 @@ func EstimatePerJob(an *analyzer.Analysis, cat *workload.Catalog, inh *perfscore
 		return nil, fmt.Errorf("replayer: no cluster contains job %s", job)
 	}
 	est.ReductionPct /= weightSum
+	obs.Default().Counter("flare_replays_total",
+		"representative scenario replays", "mode", "per-job").
+		Add(uint64(est.ScenariosReplayed))
 	return est, nil
 }

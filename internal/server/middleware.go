@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status code for telemetry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request-telemetry middleware: a
+// per-route latency histogram, a per-route/status counter, and optional
+// request logging. route is the registered mux pattern, used as the label
+// value so cardinality stays bounded by the route table regardless of
+// what paths clients request.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		s.reg.Counter("flare_http_requests_total",
+			"HTTP requests served by route and status code",
+			"route", route, "code", strconv.Itoa(sw.status)).Inc()
+		s.reg.Histogram("flare_http_request_duration_seconds",
+			"HTTP request latency by route", nil,
+			"route", route).Observe(elapsed.Seconds())
+		if s.Logger != nil {
+			s.Logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.RequestURI(), sw.status, elapsed)
+		}
+	})
+}

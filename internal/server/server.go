@@ -8,21 +8,32 @@
 //	GET /api/pcs                       high-level metric interpretations
 //	GET /api/scenarios[?job=DC]        the scenario population (optionally filtered)
 //	GET /api/estimate?feature=feature1[&job=DC]   impact estimate (cached)
+//	GET /api/plan                      portable replay plan
+//	GET /metrics                       Prometheus text exposition
+//	GET /api/trace                     recorded span trees (JSON)
+//	GET /debug/pprof/                  runtime profiling
 //
-// All responses are JSON. Estimates are memoised per (feature, job) and
-// safe under concurrent requests.
+// All responses are JSON except /metrics and pprof. Every handler is
+// wrapped in a telemetry middleware recording a latency histogram and a
+// status-code counter. Estimates are memoised per (feature, job); a
+// per-key singleflight means concurrent requests for the same estimate
+// share one computation while different estimates proceed in parallel.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 
 	"flare/internal/core"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/replayer"
 )
 
@@ -31,20 +42,45 @@ type Server struct {
 	pipeline *core.Pipeline
 	features map[string]machine.Feature
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	// Logger, when set before Handler is called, receives one line per
+	// request from the telemetry middleware.
+	Logger *log.Logger
+
 	mu    sync.Mutex
-	cache map[string]estimateResponse
+	cache map[string]*estimateEntry
 }
 
 // New creates a server over a pipeline that has completed Profile and
-// Analyze, exposing the given features for estimation.
+// Analyze, exposing the given features for estimation. Telemetry goes to
+// the process-default registry; use NewWithTelemetry to isolate it.
 func New(p *core.Pipeline, features []machine.Feature) (*Server, error) {
+	return NewWithTelemetry(p, features, obs.Default(), nil)
+}
+
+// NewWithTelemetry is New with an explicit metrics registry and tracer.
+// A nil tracer gets a fresh one observing into reg; passing the tracer
+// the pipeline was built under makes its build spans visible at
+// /api/trace.
+func NewWithTelemetry(p *core.Pipeline, features []machine.Feature,
+	reg *obs.Registry, tracer *obs.Tracer) (*Server, error) {
 	if p == nil || p.Analysis() == nil {
 		return nil, errors.New("server: pipeline must be analysed before serving")
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if tracer == nil {
+		tracer = obs.NewTracer(reg)
 	}
 	s := &Server{
 		pipeline: p,
 		features: make(map[string]machine.Feature, len(features)),
-		cache:    make(map[string]estimateResponse),
+		reg:      reg,
+		tracer:   tracer,
+		cache:    make(map[string]*estimateEntry),
 	}
 	for _, f := range features {
 		if _, dup := s.features[f.Name]; dup {
@@ -55,17 +91,53 @@ func New(p *core.Pipeline, features []machine.Feature) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's routing mux.
+// Registry returns the registry the server records telemetry into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the tracer estimate computations record spans into.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Handler returns the server's routing mux. Every route, including the
+// pprof surface, runs behind the telemetry middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/api/summary", s.handleSummary)
-	mux.HandleFunc("/api/representatives", s.handleRepresentatives)
-	mux.HandleFunc("/api/pcs", s.handlePCs)
-	mux.HandleFunc("/api/scenarios", s.handleScenarios)
-	mux.HandleFunc("/api/estimate", s.handleEstimate)
-	mux.HandleFunc("/api/plan", s.handlePlan)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("/healthz", s.handleHealth)
+	route("/api/summary", s.handleSummary)
+	route("/api/representatives", s.handleRepresentatives)
+	route("/api/pcs", s.handlePCs)
+	route("/api/scenarios", s.handleScenarios)
+	route("/api/estimate", s.handleEstimate)
+	route("/api/plan", s.handlePlan)
+	route("/metrics", s.handleMetrics)
+	route("/api/trace", s.handleTrace)
+	route("/debug/pprof/", pprof.Index)
+	route("/debug/pprof/cmdline", pprof.Cmdline)
+	route("/debug/pprof/profile", pprof.Profile)
+	route("/debug/pprof/symbol", pprof.Symbol)
+	route("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleMetrics serves the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Write errors past this point mean a dropped connection; nothing to
+	// report to the client.
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves the tracer's retained root span trees.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Snapshot())
 }
 
 // handlePlan serves the portable replay plan (representatives + weights +
@@ -249,6 +321,50 @@ type estimateResponse struct {
 	ScenariosReplayed int     `json:"scenarios_replayed"`
 }
 
+// estimateEntry is one singleflight cache slot. The first request for a
+// key computes inside the sync.Once while later requests for the same key
+// block only on that Once — requests for *different* keys never contend,
+// unlike the previous design that held one server-wide mutex across the
+// whole replay computation.
+type estimateEntry struct {
+	once   sync.Once
+	resp   estimateResponse
+	status int    // non-200 when the computation failed
+	errMsg string // set when the computation failed
+}
+
+func (e *estimateEntry) compute(s *Server, feat machine.Feature, job string) {
+	ctx := obs.WithTracer(context.Background(), s.tracer)
+	ctx, span := obs.StartSpan(ctx, "server.estimate")
+	defer span.End()
+	span.SetAttr("feature", feat.Name)
+	if job != "" {
+		span.SetAttr("job", job)
+	}
+
+	e.status = http.StatusOK
+	e.resp = estimateResponse{Feature: feat.Name, Description: feat.Description, Job: job}
+	if job == "" {
+		est, err := s.pipeline.EvaluateFeatureContext(ctx, feat)
+		if err != nil {
+			e.status = http.StatusInternalServerError
+			e.errMsg = fmt.Sprintf("estimation failed: %v", err)
+			return
+		}
+		e.resp.ReductionPct = est.ReductionPct
+		e.resp.ScenariosReplayed = est.ScenariosReplayed
+	} else {
+		est, err := s.pipeline.EvaluateFeatureForJobContext(ctx, feat, job)
+		if err != nil {
+			e.status = http.StatusBadRequest
+			e.errMsg = fmt.Sprintf("estimation failed: %v", err)
+			return
+		}
+		e.resp.ReductionPct = est.ReductionPct
+		e.resp.ScenariosReplayed = est.ScenariosReplayed
+	}
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
@@ -267,36 +383,35 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	key := featName + "|" + job
 	s.mu.Lock()
-	cached, hit := s.cache[key]
+	entry, hit := s.cache[key]
+	if !hit {
+		entry = &estimateEntry{}
+		s.cache[key] = entry
+	}
 	s.mu.Unlock()
+	result := "miss"
 	if hit {
-		writeJSON(w, http.StatusOK, cached)
+		result = "hit"
+	}
+	s.reg.Counter("flare_estimate_cache_total",
+		"estimate cache lookups (a hit may still wait on an in-flight computation)",
+		"result", result).Inc()
+
+	entry.once.Do(func() { entry.compute(s, feat, job) })
+
+	if entry.errMsg != "" {
+		// Failed computations are not cached: evict the entry (only if it
+		// is still the one we joined — a fresh retry may have replaced it)
+		// so a later request can retry.
+		s.mu.Lock()
+		if s.cache[key] == entry {
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+		writeError(w, entry.status, "%s", entry.errMsg)
 		return
 	}
-
-	resp := estimateResponse{Feature: feat.Name, Description: feat.Description, Job: job}
-	if job == "" {
-		est, err := s.pipeline.EvaluateFeature(feat)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "estimation failed: %v", err)
-			return
-		}
-		resp.ReductionPct = est.ReductionPct
-		resp.ScenariosReplayed = est.ScenariosReplayed
-	} else {
-		est, err := s.pipeline.EvaluateFeatureForJob(feat, job)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "estimation failed: %v", err)
-			return
-		}
-		resp.ReductionPct = est.ReductionPct
-		resp.ScenariosReplayed = est.ScenariosReplayed
-	}
-
-	s.mu.Lock()
-	s.cache[key] = resp
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, entry.resp)
 }
 
 func sortStrings(xs []string) { sort.Strings(xs) }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/replayer"
 )
 
@@ -217,6 +219,183 @@ func TestEstimateCachedAndConcurrent(t *testing.T) {
 		if results[i].ReductionPct != results[0].ReductionPct {
 			t.Fatalf("concurrent estimates disagree: %v vs %v", results[i], results[0])
 		}
+	}
+}
+
+// newTelemetryServer wraps the shared test pipeline in a fresh server
+// with an isolated registry and tracer, so telemetry assertions do not
+// see counts from other tests.
+func newTelemetryServer(t *testing.T) *Server {
+	t.Helper()
+	testServer(t) // ensure the shared pipeline exists
+	reg := obs.NewRegistry()
+	s, err := NewWithTelemetry(srvVal.pipeline, machine.PaperFeatures(), reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	// Generate traffic first so the scrape includes request telemetry and
+	// (via the estimate's spans) pipeline stage timings.
+	get(t, h, "/healthz", http.StatusOK, nil)
+	get(t, h, "/api/estimate?feature=feature1", http.StatusOK, nil)
+	get(t, h, "/api/estimate", http.StatusBadRequest, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE flare_http_requests_total counter",
+		`flare_http_requests_total{code="200",route="/healthz"} 1`,
+		`flare_http_requests_total{code="400",route="/api/estimate"} 1`,
+		"# TYPE flare_http_request_duration_seconds histogram",
+		`flare_http_request_duration_seconds_count{route="/healthz"} 1`,
+		"# TYPE flare_stage_duration_seconds histogram",
+		`flare_stage_duration_seconds_count{stage="replay.estimate"} 1`,
+		`flare_stage_duration_seconds_count{stage="pipeline.evaluate"} 1`,
+		`flare_estimate_cache_total{result="miss"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" — a cheap
+	// validity check on the exposition format.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestTraceEndpointSpanNesting(t *testing.T) {
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	get(t, h, "/api/estimate?feature=feature2", http.StatusOK, nil)
+
+	var roots []obs.SpanSnapshot
+	get(t, h, "/api/trace", http.StatusOK, &roots)
+	if len(roots) != 1 {
+		t.Fatalf("trace roots = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "server.estimate" || root.InFlight {
+		t.Errorf("root = %s (in flight %v)", root.Name, root.InFlight)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "pipeline.evaluate" {
+		t.Fatalf("root children = %+v", root.Children)
+	}
+	replay := root.Children[0].Children
+	if len(replay) != 1 || replay[0].Name != "replay.estimate" {
+		t.Fatalf("evaluate children = %+v", replay)
+	}
+	if len(replay[0].Children) == 0 {
+		t.Error("replay.estimate has no replay.scenario sub-spans")
+	}
+	for _, c := range replay[0].Children {
+		if c.Name != "replay.scenario" {
+			t.Errorf("unexpected replay child %q", c.Name)
+		}
+	}
+}
+
+func TestEstimateCacheCounters(t *testing.T) {
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	get(t, h, "/api/estimate?feature=feature1", http.StatusOK, nil)
+	get(t, h, "/api/estimate?feature=feature1", http.StatusOK, nil)
+	get(t, h, "/api/estimate?feature=feature1&job=DC", http.StatusOK, nil)
+
+	miss := s.Registry().Counter("flare_estimate_cache_total", "", "result", "miss").Value()
+	hit := s.Registry().Counter("flare_estimate_cache_total", "", "result", "hit").Value()
+	if miss != 2 || hit != 1 {
+		t.Errorf("cache counters: miss=%d hit=%d, want miss=2 hit=1", miss, hit)
+	}
+}
+
+// TestEstimateSingleflight hammers several distinct keys concurrently:
+// all requests must succeed, agree per key, and each key must compute at
+// most once (misses == distinct keys).
+func TestEstimateSingleflight(t *testing.T) {
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	paths := []string{
+		"/api/estimate?feature=feature1",
+		"/api/estimate?feature=feature2",
+		"/api/estimate?feature=feature1&job=DC",
+	}
+	const perPath = 6
+	results := make([][]estimateResponse, len(paths))
+	var wg sync.WaitGroup
+	for pi, path := range paths {
+		results[pi] = make([]estimateResponse, perPath)
+		for i := 0; i < perPath; i++ {
+			wg.Add(1)
+			go func(pi, i int, path string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("GET %s = %d", path, rec.Code)
+					return
+				}
+				_ = json.Unmarshal(rec.Body.Bytes(), &results[pi][i])
+			}(pi, i, path)
+		}
+	}
+	wg.Wait()
+	for pi := range paths {
+		for i := 1; i < perPath; i++ {
+			if results[pi][i] != results[pi][0] {
+				t.Errorf("%s: responses disagree: %+v vs %+v", paths[pi], results[pi][i], results[pi][0])
+			}
+		}
+	}
+	miss := s.Registry().Counter("flare_estimate_cache_total", "", "result", "miss").Value()
+	if miss != uint64(len(paths)) {
+		t.Errorf("misses = %d, want %d (one computation per key)", miss, len(paths))
+	}
+}
+
+func TestEstimateErrorsAreNotCached(t *testing.T) {
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	// Unknown job fails inside the computation (per-job estimation), so it
+	// exercises the evict-on-error path; a retry must recompute, not serve
+	// the cached failure.
+	get(t, h, "/api/estimate?feature=feature1&job=nosuchjob", http.StatusBadRequest, nil)
+	get(t, h, "/api/estimate?feature=feature1&job=nosuchjob", http.StatusBadRequest, nil)
+	miss := s.Registry().Counter("flare_estimate_cache_total", "", "result", "miss").Value()
+	if miss != 2 {
+		t.Errorf("misses = %d, want 2 (errors must not be cached)", miss)
+	}
+}
+
+func TestPprofSurface(t *testing.T) {
+	h := newTelemetryServer(t).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index does not list profiles")
 	}
 }
 
