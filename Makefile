@@ -32,12 +32,15 @@ bench:
 
 # Per-stage pipeline timings plus the metrics.Vector.Get micro-benchmark,
 # recorded under results/ so successive runs can be diffed (benchstat or
-# plain diff) to catch stage-level regressions.
+# plain diff) to catch stage-level regressions. The same run is also
+# rendered to machine-readable JSON (stage name -> ns/op) for tooling.
 bench-stages:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStages' -benchtime 3x . \
 		| tee results/bench-stages.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkVectorGet' ./internal/metrics \
 		| tee -a results/bench-stages.txt
+	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
+		-out results/BENCH_stages.json
 
 fmt:
 	gofmt -w $$(git ls-files '*.go')

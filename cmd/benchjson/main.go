@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON map so stage-level timings can be diffed by
+// tooling (CI, benchstat-style dashboards) instead of eyeballing text.
+//
+// It understands the two shapes `make bench-stages` produces:
+//
+//   - the benchmark's own ns/op, keyed by benchmark name, and
+//   - custom stage metrics like `11.08 analyze.kmeans-ms`, converted to
+//     ns/op and keyed by stage name.
+//
+// Usage:
+//
+//	benchjson -in results/bench-stages.txt -out results/BENCH_stages.json
+//
+// With -in/-out omitted it reads stdin and writes stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the emitted document: every quantity is ns/op.
+type Report struct {
+	// Benchmarks maps benchmark name to its ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Stages maps a pipeline stage (e.g. "analyze.kmeans") to its mean
+	// wall time in ns/op, parsed from the "-ms" custom metrics.
+	Stages map[string]float64 `json:"stages"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output to parse (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse scans benchmark lines. A line is
+//
+//	BenchmarkName  <iters>  <value> <unit>  <value> <unit> ...
+//
+// Units ending in "-ms" are stage metrics (milliseconds per op);
+// "ns/op" is the benchmark's own timing. Everything else is ignored.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		Benchmarks: map[string]float64{},
+		Stages:     map[string]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			unit := fields[i+1]
+			switch {
+			case unit == "ns/op":
+				rep.Benchmarks[name] = v
+			case strings.HasSuffix(unit, "-ms"):
+				rep.Stages[strings.TrimSuffix(unit, "-ms")] = v * 1e6
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// write emits deterministic JSON (sorted keys, trailing newline) so the
+// file diffs cleanly between runs.
+func write(w io.Writer, rep *Report) error {
+	// encoding/json sorts map keys, so the output is stable across runs.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -21,6 +21,7 @@ import (
 	"flare/internal/linalg"
 	"flare/internal/mathx"
 	"flare/internal/obs"
+	"flare/internal/parallel"
 	"flare/internal/pca"
 	"flare/internal/profiler"
 	"flare/internal/refine"
@@ -72,6 +73,11 @@ type Options struct {
 	Restarts int
 	// Seed drives clustering randomness.
 	Seed int64
+	// Workers bounds the analysis fan-out (concurrent sweep ks, k-means
+	// restarts, covariance column blocks); <= 0 means GOMAXPROCS. The
+	// output is byte-identical for every Workers setting (see DESIGN.md
+	// "Parallelism & determinism").
+	Workers int
 	// Method selects the clustering algorithm; the zero value means
 	// MethodKMeans (the paper's choice).
 	Method Method
@@ -198,9 +204,12 @@ func AnalyzeContext(ctx context.Context, ds *profiler.Dataset, opts Options) (*A
 		rspan.End()
 	}
 
+	workers := parallel.Workers(opts.Workers)
+
 	// Step 2: high-level metric construction.
 	_, pspan := obs.StartSpan(ctx, "analyze.pca")
-	model, err := pca.Fit(matrix, opts.VarianceTarget)
+	pspan.SetAttr("workers", workers)
+	model, err := pca.FitWorkers(matrix, opts.VarianceTarget, workers)
 	if err != nil {
 		pspan.End()
 		return nil, fmt.Errorf("analyzer: PCA: %w", err)
@@ -232,9 +241,16 @@ func AnalyzeContext(ctx context.Context, ds *profiler.Dataset, opts Options) (*A
 	jspan.SetAttr("whitened", !opts.SkipWhiten)
 	jspan.End()
 
-	// Step 3: clustering.
-	rng := rand.New(rand.NewSource(opts.Seed))
-	kopts := kmeans.Options{Rand: rng, Restarts: opts.Restarts}
+	// Step 3: clustering. The kmeans options carry the base seed for the
+	// derived per-restart/per-k substreams; the Rand fallback keeps a
+	// Seed of 0 valid (one base-seed draw per kmeans call, in program
+	// order, so the result is still a pure function of opts.Seed).
+	kopts := kmeans.Options{
+		Seed:     opts.Seed,
+		Rand:     rand.New(rand.NewSource(opts.Seed)),
+		Restarts: opts.Restarts,
+		Workers:  workers,
+	}
 	k := opts.Clusters
 	if k <= 0 {
 		_, sspan := obs.StartSpan(ctx, "analyze.sweep")
@@ -244,6 +260,7 @@ func AnalyzeContext(ctx context.Context, ds *profiler.Dataset, opts Options) (*A
 		}
 		sspan.SetAttr("k_min", opts.SweepMin)
 		sspan.SetAttr("k_max", sweepMax)
+		sspan.SetAttr("workers", workers)
 		sweep, err := kmeans.Sweep(scores, opts.SweepMin, sweepMax, kopts)
 		if err != nil {
 			sspan.End()
@@ -265,6 +282,7 @@ func AnalyzeContext(ctx context.Context, ds *profiler.Dataset, opts Options) (*A
 	_, cspan := obs.StartSpan(ctx, "analyze."+method.String())
 	cspan.SetAttr("k", k)
 	cspan.SetAttr("scenarios", scores.Rows())
+	cspan.SetAttr("workers", workers)
 	clustering, err := cluster(scores, k, method, kopts)
 	if err != nil {
 		cspan.End()
@@ -370,22 +388,26 @@ func whiten(scores *linalg.Matrix) (*linalg.Matrix, []float64) {
 
 // extractRepresentatives ranks each cluster's members by distance to the
 // centroid and takes the nearest as representative, weighting by cluster
-// size.
+// size. Each member's distance is computed once up front (on row views,
+// no copies) rather than inside the sort comparator.
 func extractRepresentatives(scores *linalg.Matrix, cl *kmeans.Result) []Representative {
 	n := scores.Rows()
 	members := make([][]int, cl.K)
 	for id, lbl := range cl.Labels {
 		members[lbl] = append(members[lbl], id)
 	}
+	dist := make([]float64, n)
 	out := make([]Representative, 0, cl.K)
 	for c := 0; c < cl.K; c++ {
 		if len(members[c]) == 0 {
 			continue
 		}
 		centroid := cl.Centroids[c]
+		for _, id := range members[c] {
+			dist[id] = mathx.Vector(scores.RowView(id)).DistanceSq(centroid)
+		}
 		sort.SliceStable(members[c], func(a, b int) bool {
-			da := mathx.Vector(scores.Row(members[c][a])).DistanceSq(centroid)
-			db := mathx.Vector(scores.Row(members[c][b])).DistanceSq(centroid)
+			da, db := dist[members[c][a]], dist[members[c][b]]
 			if da != db {
 				return da < db
 			}

@@ -2,6 +2,12 @@
 // k-means++ seeded Lloyd iteration over whitened PC scores, plus the two
 // clustering-quality metrics the paper uses to choose the cluster count —
 // Sum of Squared Errors (SSE) and Silhouette Score (Fig 9).
+//
+// Restarts (and the ks of a Sweep) run concurrently on a bounded worker
+// pool. Every unit of work derives its own RNG substream from the base
+// seed (the `seed + id*prime` convention documented in DESIGN.md
+// "Parallelism & determinism"), and winners are reduced in unit order,
+// so results are byte-identical for any Workers setting.
 package kmeans
 
 import (
@@ -12,6 +18,15 @@ import (
 
 	"flare/internal/linalg"
 	"flare/internal/mathx"
+	"flare/internal/parallel"
+)
+
+// Per-unit seed strides. restartPrime matches the profiler's per-scenario
+// substream convention; sweepPrime keeps per-k streams disjoint from the
+// per-restart streams derived inside each k.
+const (
+	restartPrime = 7919
+	sweepPrime   = 104729
 )
 
 // Options controls a clustering run.
@@ -19,10 +34,30 @@ type Options struct {
 	// MaxIters bounds Lloyd iterations per restart; <= 0 means 100.
 	MaxIters int
 	// Restarts runs the whole algorithm this many times with different
-	// seedings and keeps the lowest-SSE result; <= 0 means 8.
+	// seedings and keeps the lowest-SSE result (ties broken by the lower
+	// restart index); <= 0 means 8.
 	Restarts int
-	// Rand supplies randomness (required).
+	// Seed, when non-zero, is the base of the per-restart (and per-k, in
+	// Sweep) RNG substreams. Zero defers to Rand.
+	Seed int64
+	// Rand supplies the base seed when Seed is zero: one Int63 is drawn
+	// per Cluster/Sweep call. Either Seed or Rand is required.
 	Rand *rand.Rand
+	// Workers bounds the concurrent restarts (Cluster) or concurrent ks
+	// (Sweep); <= 0 means GOMAXPROCS. The result does not depend on it.
+	Workers int
+}
+
+// baseSeed resolves the substream base from Seed or, failing that, a
+// single draw from Rand.
+func (o Options) baseSeed() (int64, error) {
+	if o.Seed != 0 {
+		return o.Seed, nil
+	}
+	if o.Rand != nil {
+		return o.Rand.Int63(), nil
+	}
+	return 0, errors.New("kmeans: Options.Seed or Options.Rand is required")
 }
 
 // Result is a converged clustering.
@@ -40,43 +75,83 @@ func Cluster(m *linalg.Matrix, k int, opts Options) (*Result, error) {
 	if m == nil {
 		return nil, errors.New("kmeans: nil matrix")
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("kmeans: k = %d, want positive", k)
+	seed, err := opts.baseSeed()
+	if err != nil {
+		return nil, err
 	}
-	if k > m.Rows() {
-		return nil, fmt.Errorf("kmeans: k = %d exceeds %d observations", k, m.Rows())
+	if err := validateK(k, m.Rows()); err != nil {
+		return nil, err
 	}
-	if opts.Rand == nil {
-		return nil, errors.New("kmeans: Options.Rand is required")
-	}
-	maxIters := opts.MaxIters
-	if maxIters <= 0 {
-		maxIters = 100
-	}
-	restarts := opts.Restarts
-	if restarts <= 0 {
-		restarts = 8
-	}
+	return clusterSeeded(rowViews(m), k, opts.maxIters(), opts.restarts(), seed,
+		parallel.Workers(opts.Workers)), nil
+}
 
+func validateK(k, n int) error {
+	if k <= 0 {
+		return fmt.Errorf("kmeans: k = %d, want positive", k)
+	}
+	if k > n {
+		return fmt.Errorf("kmeans: k = %d exceeds %d observations", k, n)
+	}
+	return nil
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters <= 0 {
+		return 100
+	}
+	return o.MaxIters
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 0 {
+		return 8
+	}
+	return o.Restarts
+}
+
+// rowViews adapts a matrix to the point-slice form the kernels consume
+// without copying any row data (see linalg.Matrix.RowView's aliasing
+// contract; the kernels never write through a point).
+func rowViews(m *linalg.Matrix) []mathx.Vector {
 	points := make([]mathx.Vector, m.Rows())
 	for i := range points {
-		points[i] = m.Row(i)
+		points[i] = m.RowView(i)
 	}
+	return points
+}
 
-	var best *Result
-	for r := 0; r < restarts; r++ {
-		res := lloyd(points, k, maxIters, opts.Rand)
-		if best == nil || res.SSE < best.SSE {
+// clusterSeeded runs restarts Lloyd iterations concurrently, each on its
+// own derived RNG substream, and keeps the lowest-SSE result. The winner
+// scan runs in restart order with a strict < comparison, so an SSE tie
+// deterministically keeps the earlier restart whatever the interleaving.
+func clusterSeeded(points []mathx.Vector, k, maxIters, restarts int, seed int64, workers int) *Result {
+	results := make([]*Result, restarts)
+	parallel.For(workers, restarts, func(r int) {
+		rng := rand.New(rand.NewSource(seed + int64(r)*restartPrime))
+		results[r] = lloyd(points, k, maxIters, rng)
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.SSE < best.SSE {
 			best = res
 		}
 	}
-	return best, nil
+	return best
 }
 
-// lloyd runs one k-means++ seeded Lloyd iteration to convergence.
+// lloyd runs one k-means++ seeded Lloyd iteration to convergence. All
+// per-iteration state (centroid sums, counts) is allocated once up front
+// and reused, keeping the inner loop allocation-free.
 func lloyd(points []mathx.Vector, k, maxIters int, rng *rand.Rand) *Result {
+	dim := len(points[0])
 	centroids := seedPlusPlus(points, k, rng)
 	labels := make([]int, len(points))
+	sums := make([]mathx.Vector, k)
+	for c := range sums {
+		sums[c] = mathx.NewVector(dim)
+	}
+	counts := make([]int, k)
 	res := &Result{K: k}
 
 	for iter := 0; iter < maxIters; iter++ {
@@ -89,7 +164,7 @@ func lloyd(points []mathx.Vector, k, maxIters int, rng *rand.Rand) *Result {
 			}
 		}
 		res.Iters = iter + 1
-		centroids = recompute(points, labels, centroids, rng)
+		recompute(points, labels, centroids, sums, counts, rng)
 		if !changed && iter > 0 {
 			break
 		}
@@ -105,24 +180,23 @@ func lloyd(points []mathx.Vector, k, maxIters int, rng *rand.Rand) *Result {
 	return res
 }
 
-// seedPlusPlus picks k initial centroids with the k-means++ D^2 weighting.
+// seedPlusPlus picks k initial centroids with the k-means++ D^2
+// weighting. A running minimum-distance array is updated against only
+// the newest centroid, so adding the c-th centroid costs O(n) instead of
+// the naive O(n*c) full re-scan; the selected points (and RNG draws) are
+// identical to the naive form, which a unit test pins.
 func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
 	centroids := make([]mathx.Vector, 0, k)
-	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	first := points[rng.Intn(len(points))].Clone()
+	centroids = append(centroids, first)
 
-	dist := make([]float64, len(points))
+	minDist := make([]float64, len(points))
+	var total float64
+	for i, p := range points {
+		minDist[i] = p.DistanceSq(first)
+		total += minDist[i]
+	}
 	for len(centroids) < k {
-		var total float64
-		for i, p := range points {
-			d := p.DistanceSq(centroids[0])
-			for _, c := range centroids[1:] {
-				if dd := p.DistanceSq(c); dd < d {
-					d = dd
-				}
-			}
-			dist[i] = d
-			total += d
-		}
 		if total <= 0 {
 			// All remaining points coincide with existing centroids; pick
 			// arbitrarily to keep k centroids.
@@ -131,14 +205,22 @@ func seedPlusPlus(points []mathx.Vector, k int, rng *rand.Rand) []mathx.Vector {
 		}
 		target := rng.Float64() * total
 		idx := 0
-		for i, d := range dist {
+		for i, d := range minDist {
 			target -= d
 			if target <= 0 {
 				idx = i
 				break
 			}
 		}
-		centroids = append(centroids, points[idx].Clone())
+		next := points[idx].Clone()
+		centroids = append(centroids, next)
+		total = 0
+		for i, p := range points {
+			if d := p.DistanceSq(next); d < minDist[i] {
+				minDist[i] = d
+			}
+			total += minDist[i]
+		}
 	}
 	return centroids
 }
@@ -154,27 +236,27 @@ func nearest(p mathx.Vector, centroids []mathx.Vector) int {
 	return best
 }
 
-// recompute rebuilds centroids as cluster means; an emptied cluster is
+// recompute rebuilds centroids in place as cluster means, accumulating
+// into the caller's reusable sums/counts scratch; an emptied cluster is
 // re-seeded on a random point so k never silently shrinks.
-func recompute(points []mathx.Vector, labels []int, old []mathx.Vector, rng *rand.Rand) []mathx.Vector {
-	k := len(old)
-	dim := len(old[0])
-	sums := make([]mathx.Vector, k)
-	counts := make([]int, k)
+func recompute(points []mathx.Vector, labels []int, centroids, sums []mathx.Vector, counts []int, rng *rand.Rand) {
 	for c := range sums {
-		sums[c] = mathx.NewVector(dim)
+		clear(sums[c])
+		counts[c] = 0
 	}
 	for i, p := range points {
 		p.AccumulateInto(sums[labels[i]])
 		counts[labels[i]]++
 	}
-	out := make([]mathx.Vector, k)
-	for c := range out {
+	for c := range centroids {
 		if counts[c] == 0 {
-			out[c] = points[rng.Intn(len(points))].Clone()
+			copy(centroids[c], points[rng.Intn(len(points))])
 			continue
 		}
-		out[c] = sums[c].Scale(1 / float64(counts[c]))
+		inv := 1 / float64(counts[c])
+		dst := centroids[c]
+		for d, s := range sums[c] {
+			dst[d] = s * inv
+		}
 	}
-	return out
 }

@@ -6,7 +6,36 @@ import (
 
 	"flare/internal/linalg"
 	"flare/internal/mathx"
+	"flare/internal/parallel"
 )
+
+// maxCachePoints bounds the O(n^2) pairwise-distance cache Sweep shares
+// across its per-k silhouette calls: n = 8192 costs 512 MiB transient,
+// which is the most the sweep should ever pin. Beyond that every k falls
+// back to recomputing distances on the fly (still correct, just slower).
+const maxCachePoints = 8192
+
+// distCache is a full n x n matrix of pairwise Euclidean distances,
+// computed once per Sweep and shared read-only by every per-k
+// Silhouette pass. Rows are filled independently (one writer per row),
+// so parallel construction is deterministic.
+type distCache struct {
+	n int
+	d []float64 // d[i*n+j] = distance(points[i], points[j])
+}
+
+func newDistCache(points []mathx.Vector, workers int) *distCache {
+	n := len(points)
+	dc := &distCache{n: n, d: make([]float64, n*n)}
+	parallel.For(workers, n, func(i int) {
+		row := dc.d[i*n : (i+1)*n]
+		p := points[i]
+		for j, q := range points {
+			row[j] = p.Distance(q)
+		}
+	})
+	return dc
+}
 
 // Silhouette computes the mean silhouette score of a clustering in
 // [-1, 1]: for each point, (b-a)/max(a,b) where a is the mean distance to
@@ -20,24 +49,33 @@ func Silhouette(m *linalg.Matrix, labels []int, k int) (float64, error) {
 	if len(labels) != m.Rows() {
 		return 0, fmt.Errorf("kmeans: %d labels for %d observations", len(labels), m.Rows())
 	}
-	if k < 2 {
-		return 0, errors.New("kmeans: silhouette needs at least 2 clusters")
+	sizes, err := clusterSizes(labels, k)
+	if err != nil {
+		return 0, err
 	}
+	return silhouetteDirect(rowViews(m), labels, sizes, k), nil
+}
 
-	points := make([]mathx.Vector, m.Rows())
-	for i := range points {
-		points[i] = m.Row(i)
+func clusterSizes(labels []int, k int) ([]int, error) {
+	if k < 2 {
+		return nil, errors.New("kmeans: silhouette needs at least 2 clusters")
 	}
 	sizes := make([]int, k)
 	for _, l := range labels {
 		if l < 0 || l >= k {
-			return 0, fmt.Errorf("kmeans: label %d outside [0, %d)", l, k)
+			return nil, fmt.Errorf("kmeans: label %d outside [0, %d)", l, k)
 		}
 		sizes[l]++
 	}
+	return sizes, nil
+}
 
-	var total float64
+// silhouetteDirect computes the score with on-the-fly distances, used by
+// the public Silhouette and by Sweep when the point count exceeds the
+// cache budget.
+func silhouetteDirect(points []mathx.Vector, labels, sizes []int, k int) float64 {
 	sumDist := make([]float64, k)
+	var total float64
 	for i, p := range points {
 		for c := range sumDist {
 			sumDist[c] = 0
@@ -48,29 +86,57 @@ func Silhouette(m *linalg.Matrix, labels []int, k int) (float64, error) {
 			}
 			sumDist[labels[j]] += p.Distance(q)
 		}
-		own := labels[i]
-		if sizes[own] <= 1 {
-			continue // convention: silhouette 0
+		total += silhouetteOf(i, labels, sizes, sumDist, k)
+	}
+	return total / float64(len(points))
+}
+
+// silhouetteFromCache is the sweep's single pass over the shared distance
+// cache: per point, one walk of its cache row accumulating per-cluster
+// label sums, then the usual (b-a)/max(a,b).
+func silhouetteFromCache(dc *distCache, labels, sizes []int, k int) float64 {
+	sumDist := make([]float64, k)
+	var total float64
+	for i := 0; i < dc.n; i++ {
+		for c := range sumDist {
+			sumDist[c] = 0
 		}
-		a := sumDist[own] / float64(sizes[own]-1)
-		b := -1.0
-		for c := 0; c < k; c++ {
-			if c == own || sizes[c] == 0 {
+		row := dc.d[i*dc.n : (i+1)*dc.n]
+		for j, dist := range row {
+			if i == j {
 				continue
 			}
-			mean := sumDist[c] / float64(sizes[c])
-			if b < 0 || mean < b {
-				b = mean
-			}
+			sumDist[labels[j]] += dist
 		}
-		if b < 0 {
-			continue // no other non-empty cluster
+		total += silhouetteOf(i, labels, sizes, sumDist, k)
+	}
+	return total / float64(dc.n)
+}
+
+// silhouetteOf scores one point from its per-cluster distance sums.
+func silhouetteOf(i int, labels, sizes []int, sumDist []float64, k int) float64 {
+	own := labels[i]
+	if sizes[own] <= 1 {
+		return 0 // convention: silhouette 0 for singletons
+	}
+	a := sumDist[own] / float64(sizes[own]-1)
+	b := -1.0
+	for c := 0; c < k; c++ {
+		if c == own || sizes[c] == 0 {
+			continue
 		}
-		if denom := max(a, b); denom > 0 {
-			total += (b - a) / denom
+		mean := sumDist[c] / float64(sizes[c])
+		if b < 0 || mean < b {
+			b = mean
 		}
 	}
-	return total / float64(len(points)), nil
+	if b < 0 {
+		return 0 // no other non-empty cluster
+	}
+	if denom := max(a, b); denom > 0 {
+		return (b - a) / denom
+	}
+	return 0
 }
 
 // SweepPoint is one entry of a cluster-count sweep (Fig 9).
@@ -81,23 +147,61 @@ type SweepPoint struct {
 }
 
 // Sweep clusters m for every k in [kMin, kMax] and reports SSE and
-// silhouette per k, the data behind the paper's Figure 9. The same
-// Options (and Rand) drive every k, making the sweep reproducible.
+// silhouette per k, the data behind the paper's Figure 9. The ks run
+// concurrently on the Options.Workers pool, each on a seed substream
+// derived from the base seed and k, and all per-k silhouettes share one
+// O(n^2) pairwise-distance cache computed up front instead of
+// recomputing it per k — so the sweep is reproducible for a fixed seed
+// at any worker count.
 func Sweep(m *linalg.Matrix, kMin, kMax int, opts Options) ([]SweepPoint, error) {
 	if kMin < 2 || kMax < kMin {
 		return nil, fmt.Errorf("kmeans: invalid sweep range [%d, %d]", kMin, kMax)
 	}
-	out := make([]SweepPoint, 0, kMax-kMin+1)
-	for k := kMin; k <= kMax; k++ {
-		res, err := Cluster(m, k, opts)
+	if m == nil {
+		return nil, errors.New("kmeans: nil matrix")
+	}
+	seed, err := opts.baseSeed()
+	if err != nil {
+		return nil, err
+	}
+	workers := parallel.Workers(opts.Workers)
+	points := rowViews(m)
+
+	var dc *distCache
+	if len(points) <= maxCachePoints {
+		dc = newDistCache(points, workers)
+	}
+
+	out := make([]SweepPoint, kMax-kMin+1)
+	errs := make([]error, len(out))
+	maxIters, restarts := opts.maxIters(), opts.restarts()
+	parallel.For(workers, len(out), func(i int) {
+		k := kMin + i
+		if err := validateK(k, len(points)); err != nil {
+			errs[i] = err
+			return
+		}
+		// Restarts run sequentially inside each k: the sweep already
+		// saturates the pool across ks.
+		res := clusterSeeded(points, k, maxIters, restarts, seed+int64(k)*sweepPrime, 1)
+		sizes, err := clusterSizes(res.Labels, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		var sil float64
+		if dc != nil {
+			sil = silhouetteFromCache(dc, res.Labels, sizes, k)
+		} else {
+			sil = silhouetteDirect(points, res.Labels, sizes, k)
+		}
+		out[i] = SweepPoint{K: k, SSE: res.SSE, Silhouette: sil}
+	})
+	// First error by ascending k, independent of completion order.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		sil, err := Silhouette(m, res.Labels, k)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{K: k, SSE: res.SSE, Silhouette: sil})
 	}
 	return out, nil
 }

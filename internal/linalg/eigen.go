@@ -74,12 +74,16 @@ func SymmetricEigen(m *Matrix) (*EigenResult, error) {
 
 // rotate applies one Jacobi rotation zeroing a[p][q], updating both the
 // working matrix a and the accumulated eigenvector matrix v in place.
+// This is the eigensolver's innermost loop, so it indexes the row-major
+// backing stores directly instead of going through At/Set bounds checks.
 func rotate(a, v *Matrix, p, q int) {
-	apq := a.At(p, q)
+	n := a.rows
+	ad, vd := a.data, v.data
+	apq := ad[p*n+q]
 	if math.Abs(apq) < 1e-15 {
 		return
 	}
-	app, aqq := a.At(p, p), a.At(q, q)
+	app, aqq := ad[p*n+p], ad[q*n+q]
 
 	theta := (aqq - app) / (2 * apq)
 	var t float64
@@ -91,21 +95,22 @@ func rotate(a, v *Matrix, p, q int) {
 	c := 1 / math.Sqrt(1+t*t)
 	s := t * c
 
-	n := a.Rows()
 	for i := 0; i < n; i++ {
-		aip, aiq := a.At(i, p), a.At(i, q)
-		a.Set(i, p, c*aip-s*aiq)
-		a.Set(i, q, s*aip+c*aiq)
+		aip, aiq := ad[i*n+p], ad[i*n+q]
+		ad[i*n+p] = c*aip - s*aiq
+		ad[i*n+q] = s*aip + c*aiq
 	}
-	for j := 0; j < n; j++ {
-		apj, aqj := a.At(p, j), a.At(q, j)
-		a.Set(p, j, c*apj-s*aqj)
-		a.Set(q, j, s*apj+c*aqj)
+	rowP := ad[p*n : (p+1)*n]
+	rowQ := ad[q*n : (q+1)*n]
+	for j, apj := range rowP {
+		aqj := rowQ[j]
+		rowP[j] = c*apj - s*aqj
+		rowQ[j] = s*apj + c*aqj
 	}
 	for i := 0; i < n; i++ {
-		vip, viq := v.At(i, p), v.At(i, q)
-		v.Set(i, p, c*vip-s*viq)
-		v.Set(i, q, s*vip+c*viq)
+		vip, viq := vd[i*n+p], vd[i*n+q]
+		vd[i*n+p] = c*vip - s*viq
+		vd[i*n+q] = s*vip + c*viq
 	}
 }
 
@@ -113,10 +118,10 @@ func rotate(a, v *Matrix, p, q int) {
 // triangle of a symmetric matrix, the Jacobi convergence measure.
 func offDiagonalNorm(m *Matrix) float64 {
 	var sum float64
-	n := m.Rows()
+	n := m.rows
 	for i := 0; i < n-1; i++ {
-		for j := i + 1; j < n; j++ {
-			x := m.At(i, j)
+		row := m.data[i*n+i+1 : (i+1)*n]
+		for _, x := range row {
 			sum += x * x
 		}
 	}

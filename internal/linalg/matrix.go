@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"flare/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64.
@@ -70,7 +72,8 @@ func (m *Matrix) boundsCheck(i, j int) {
 	}
 }
 
-// Row returns a copy of row i.
+// Row returns a copy of row i. Hot paths that only need to *read* a row
+// should use RowView instead and skip the allocation.
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("linalg: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
@@ -78,6 +81,19 @@ func (m *Matrix) Row(i int) []float64 {
 	out := make([]float64, m.cols)
 	copy(out, m.data[i*m.cols:(i+1)*m.cols])
 	return out
+}
+
+// RowView returns row i as a slice aliasing the matrix's backing store —
+// no copy is made. Aliasing contract: the view stays valid for the
+// matrix's lifetime, writes through the view write the matrix (and vice
+// versa), so callers that need a stable snapshot must use Row. The
+// analysis hot paths (k-means point access, silhouette, PCA projection)
+// treat views as read-only.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
 }
 
 // Col returns a copy of column j.
@@ -177,28 +193,53 @@ func Identity(n int) *Matrix {
 // rows of m (each row is an observation, each column a variable).
 // It returns an error if m has fewer than two rows.
 func Covariance(m *Matrix) (*Matrix, error) {
+	return CovarianceWorkers(m, 1)
+}
+
+// CovarianceWorkers is Covariance with the column-pair work split across
+// at most workers goroutines (<= 0 means GOMAXPROCS). Every (a, b) pair
+// is summed by exactly one worker over the full observation range in row
+// order, so the result is bit-identical for every worker count. The
+// inner loops run over raw slices: columns are centred once into a
+// column-major scratch so each pair reduces to a contiguous dot product
+// instead of rows*2 bounds-checked At calls.
+func CovarianceWorkers(m *Matrix, workers int) (*Matrix, error) {
 	if m.rows < 2 {
 		return nil, errors.New("linalg: covariance requires at least 2 observations")
 	}
-	means := make([]float64, m.cols)
-	for j := 0; j < m.cols; j++ {
-		var sum float64
-		for i := 0; i < m.rows; i++ {
-			sum += m.At(i, j)
+	n, d := m.rows, m.cols
+	means := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := m.data[i*d : (i+1)*d]
+		for j, v := range row {
+			means[j] += v
 		}
-		means[j] = sum / float64(m.rows)
 	}
-	cov := NewMatrix(m.cols, m.cols)
-	for a := 0; a < m.cols; a++ {
-		for b := a; b < m.cols; b++ {
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	// Centre into column-major scratch: centered[j*n : (j+1)*n] is column j.
+	centered := make([]float64, d*n)
+	for i := 0; i < n; i++ {
+		row := m.data[i*d : (i+1)*d]
+		for j, v := range row {
+			centered[j*n+i] = v - means[j]
+		}
+	}
+	cov := NewMatrix(d, d)
+	parallel.For(parallel.Workers(workers), d, func(a int) {
+		ca := centered[a*n : (a+1)*n]
+		dst := cov.data[a*d:]
+		for b := a; b < d; b++ {
+			cb := centered[b*n : (b+1)*n]
 			var sum float64
-			for i := 0; i < m.rows; i++ {
-				sum += (m.At(i, a) - means[a]) * (m.At(i, b) - means[b])
+			for i, x := range ca {
+				sum += x * cb[i]
 			}
-			v := sum / float64(m.rows)
-			cov.Set(a, b, v)
-			cov.Set(b, a, v)
+			v := sum / float64(n)
+			dst[b] = v
+			cov.data[b*d+a] = v
 		}
-	}
+	})
 	return cov, nil
 }

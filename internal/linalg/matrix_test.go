@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -185,5 +186,72 @@ func TestCloneIndependent(t *testing.T) {
 	c.Set(0, 0, 5)
 	if m.At(0, 0) != 0 {
 		t.Error("Clone shares storage")
+	}
+}
+
+func TestRowViewAliasesBackingStore(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.RowView(1)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatalf("RowView(1) = %v, want [3 4]", v)
+	}
+	// Aliasing contract: writes through the view are visible in the
+	// matrix and vice versa; Row stays an independent copy.
+	v[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Error("write through RowView not visible in matrix")
+	}
+	m.Set(1, 1, 7)
+	if v[1] != 7 {
+		t.Error("matrix write not visible through RowView")
+	}
+	c := m.Row(1)
+	c[0] = -1
+	if m.At(1, 0) != 9 {
+		t.Error("Row copy aliases the matrix")
+	}
+	// The view's capacity is clipped: an append cannot clobber row 2.
+	if cap(v) != 2 {
+		t.Errorf("RowView capacity = %d, want 2 (clipped)", cap(v))
+	}
+}
+
+func TestRowViewOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RowView(5) did not panic")
+		}
+	}()
+	NewMatrix(2, 2).RowView(5)
+}
+
+func TestCovarianceWorkersMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m := NewMatrix(97, 23)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			m.Set(i, j, r.NormFloat64()*float64(j+1))
+		}
+	}
+	base, err := Covariance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 23, 100} {
+		got, err := CovarianceWorkers(m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < base.Rows(); i++ {
+			for j := 0; j < base.Cols(); j++ {
+				if base.At(i, j) != got.At(i, j) {
+					t.Fatalf("workers=%d: cov(%d,%d) = %v, want %v (bit-identical)",
+						workers, i, j, got.At(i, j), base.At(i, j))
+				}
+			}
+		}
 	}
 }

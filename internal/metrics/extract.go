@@ -39,9 +39,20 @@ func (v Vector) Get(name string) (float64, error) {
 // Extract computes the full raw metric vector for one modelled colocation
 // result on the given machine configuration.
 func Extract(c *Catalog, cfg machine.Config, res perfmodel.Result) Vector {
+	return ExtractInto(make([]float64, c.Len()), c, cfg, res)
+}
+
+// ExtractInto is Extract writing into a caller-provided values slice of
+// length Catalog.Len(), so steady-state extraction (the profiler's
+// per-sample loop) allocates nothing. The returned Vector aliases dst.
+// It panics on a length mismatch, which is always a programming error.
+func ExtractInto(dst []float64, c *Catalog, cfg machine.Config, res perfmodel.Result) Vector {
+	if len(dst) != c.Len() {
+		panic(fmt.Sprintf("metrics: ExtractInto dst has length %d, catalog has %d metrics", len(dst), c.Len()))
+	}
 	v := Vector{
 		Names:  c.Names(),
-		Values: make([]float64, c.Len()),
+		Values: dst,
 		index:  c.byName, // read-only after NewCatalog, safe to share
 	}
 	machineAgg := aggregate(res.Jobs, func(perfmodel.JobPerf) bool { return true })
@@ -50,7 +61,9 @@ func Extract(c *Catalog, cfg machine.Config, res perfmodel.Result) Vector {
 	for i, def := range c.Defs() {
 		if _, isStd := StdOf(def.Name); isStd {
 			// Variability metrics summarise *across* samples; the
-			// profiler fills them from repeated extractions.
+			// profiler fills them from repeated extractions. Zero the
+			// slot so a reused dst never leaks a previous extraction.
+			v.Values[i] = 0
 			continue
 		}
 		switch def.Level {

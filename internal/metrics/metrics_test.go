@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -275,4 +276,39 @@ func TestExtractLeavesStdMetricsZero(t *testing.T) {
 	if got != 0 {
 		t.Errorf("Extract filled a Std metric (%v); the profiler owns those", got)
 	}
+}
+
+func TestExtractIntoReusesBufferAndClearsStdSlots(t *testing.T) {
+	c, err := WithVariability(DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, res := evaluateMixed(t)
+
+	fresh := Extract(c, cfg, res)
+	buf := make([]float64, c.Len())
+	for i := range buf {
+		buf[i] = math.NaN() // poison: every slot must be overwritten
+	}
+	reused := ExtractInto(buf, c, cfg, res)
+	if &reused.Values[0] != &buf[0] {
+		t.Fatal("ExtractInto did not alias the caller's buffer")
+	}
+	for i := range fresh.Values {
+		if fresh.Values[i] != reused.Values[i] {
+			t.Errorf("metric %s: ExtractInto %v != Extract %v",
+				fresh.Names[i], reused.Values[i], fresh.Values[i])
+		}
+	}
+}
+
+func TestExtractIntoWrongLengthPanics(t *testing.T) {
+	c := DefaultCatalog()
+	cfg, res := evaluateMixed(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst did not panic")
+		}
+	}()
+	ExtractInto(make([]float64, c.Len()-1), c, cfg, res)
 }

@@ -1,0 +1,66 @@
+// Package parallel provides the one concurrency primitive FLARE's
+// analysis kernels share: a bounded, deterministic fan-out over an
+// indexed work list.
+//
+// Determinism contract: For hands each index to exactly one worker and
+// every call site is responsible for making the work of index i
+// independent of scheduling order (per-index derived RNG substreams,
+// per-index output slots, no shared accumulators). Under that contract
+// the results are byte-identical for any worker count, which is what
+// lets the Analyzer promise identical output for Workers=1 and
+// Workers=GOMAXPROCS (see DESIGN.md "Parallelism & determinism").
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: values <= 0 mean
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines.
+// Indices are claimed dynamically (an atomic counter), so uneven work
+// per index self-balances; workers <= 1 (or n <= 1) degrades to a plain
+// sequential loop with no goroutines and no allocation. fn must write
+// its result to an i-indexed slot rather than a shared accumulator —
+// see the package comment for the determinism contract.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

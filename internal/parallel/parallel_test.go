@@ -1,0 +1,53 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -1, func(int) { ran = true })
+	if ran {
+		t.Error("For ran work for n <= 0")
+	}
+}
+
+func TestForSequentialWhenSingleWorker(t *testing.T) {
+	// workers <= 1 must preserve index order (plain loop), which callers
+	// rely on for deterministic error selection.
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}

@@ -39,6 +39,13 @@ type Model struct {
 // Fit computes a PCA of m (observations in rows, metrics in columns) and
 // selects components to reach varianceTarget in (0, 1].
 func Fit(m *linalg.Matrix, varianceTarget float64) (*Model, error) {
+	return FitWorkers(m, varianceTarget, 1)
+}
+
+// FitWorkers is Fit with the covariance computation (the fit's dominant
+// cost) split across at most workers goroutines; <= 0 means GOMAXPROCS.
+// The fitted model is bit-identical for every worker count.
+func FitWorkers(m *linalg.Matrix, varianceTarget float64, workers int) (*Model, error) {
 	if m == nil {
 		return nil, errors.New("pca: nil matrix")
 	}
@@ -49,21 +56,38 @@ func Fit(m *linalg.Matrix, varianceTarget float64) (*Model, error) {
 		return nil, errors.New("pca: need at least 2 observations")
 	}
 
+	rows, cols := m.Rows(), m.Cols()
 	mod := &Model{
-		Means: make([]float64, m.Cols()),
-		Stds:  make([]float64, m.Cols()),
+		Means: make([]float64, cols),
+		Stds:  make([]float64, cols),
 	}
-	z := linalg.NewMatrix(m.Rows(), m.Cols())
-	for j := 0; j < m.Cols(); j++ {
-		col, mean, std := stats.Standardize(m.Col(j))
-		mod.Means[j] = mean
-		mod.Stds[j] = std
-		for i, v := range col {
-			z.Set(i, j, v)
+	// Standardise straight into z's rows: per-column mean/std once (on a
+	// reused column buffer), then one row-major fill — no per-element
+	// At/Set and no per-column result allocation (stats.Standardize's
+	// zero-std centring convention is preserved).
+	z := linalg.NewMatrix(rows, cols)
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = m.RowView(i)[j]
+		}
+		mod.Means[j] = stats.Mean(col)
+		if std := stats.StdDev(col); std >= 1e-12 {
+			mod.Stds[j] = std
+		}
+	}
+	for i := 0; i < rows; i++ {
+		src, dst := m.RowView(i), z.RowView(i)
+		for j, v := range src {
+			if std := mod.Stds[j]; std > 0 {
+				dst[j] = (v - mod.Means[j]) / std
+			} else {
+				dst[j] = v - mod.Means[j]
+			}
 		}
 	}
 
-	cov, err := linalg.Covariance(z)
+	cov, err := linalg.CovarianceWorkers(z, workers)
 	if err != nil {
 		return nil, fmt.Errorf("pca: %w", err)
 	}
@@ -112,20 +136,22 @@ func (mod *Model) Transform(m *linalg.Matrix) (*linalg.Matrix, error) {
 	out := linalg.NewMatrix(m.Rows(), mod.NumPC)
 	row := make([]float64, m.Cols())
 	for i := 0; i < m.Rows(); i++ {
-		for j := 0; j < m.Cols(); j++ {
-			v := m.At(i, j) - mod.Means[j]
+		src := m.RowView(i)
+		for j, v := range src {
+			v -= mod.Means[j]
 			if mod.Stds[j] > 0 {
 				v /= mod.Stds[j]
 			}
 			row[j] = v
 		}
+		dst := out.RowView(i)
 		for k := 0; k < mod.NumPC; k++ {
 			var score float64
 			comp := mod.Components[k]
 			for j, v := range row {
 				score += v * comp[j]
 			}
-			out.Set(i, k, score)
+			dst[k] = score
 		}
 	}
 	return out, nil

@@ -135,11 +135,15 @@ func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: sample and column buffers are reused
+			// across every scenario this worker profiles, so the
+			// steady-state loop allocates only per-scenario outputs.
+			sc := newScratch(opts.SamplesPerScenario, ds.Catalog.Len())
 			for id := range ids {
 				if failed.Load() {
 					continue // drain without working
 				}
-				if err := ds.profileOne(id, jobs, opts); err != nil {
+				if err := ds.profileOne(id, jobs, opts, sc); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						failed.Store(true)
@@ -164,9 +168,31 @@ func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 	return ds, nil
 }
 
+// scratch holds one worker's reusable profiling buffers: per-sample
+// metric vectors (one flat backing array) and the cross-sample column
+// used for the variability metrics.
+type scratch struct {
+	samples [][]float64
+	col     []float64
+	factors []float64
+}
+
+func newScratch(samplesPerScenario, catalogLen int) *scratch {
+	flat := make([]float64, samplesPerScenario*catalogLen)
+	sc := &scratch{
+		samples: make([][]float64, samplesPerScenario),
+		col:     make([]float64, samplesPerScenario),
+	}
+	for s := range sc.samples {
+		sc.samples[s] = flat[s*catalogLen : (s+1)*catalogLen : (s+1)*catalogLen]
+	}
+	return sc
+}
+
 // profileOne measures one scenario: SamplesPerScenario noisy evaluations,
-// averaged per metric and per job.
-func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options) error {
+// averaged per metric and per job. The scratch buffers carry no state
+// between scenarios; every cell is overwritten before it is read.
+func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options, scr *scratch) error {
 	sc, err := ds.Scenarios.Get(id)
 	if err != nil {
 		return err
@@ -180,18 +206,18 @@ func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options) erro
 	// scheduling order across workers.
 	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
 
-	samples := make([][]float64, opts.SamplesPerScenario)
+	samples := scr.samples
 	sumMIPS := make(map[string]float64, len(assignments))
 	for s := 0; s < opts.SamplesPerScenario; s++ {
 		res, err := perfmodel.Evaluate(ds.Config, assignments, perfmodel.Options{
 			NoiseStd:        opts.NoiseStd,
 			Rand:            rng,
-			ActivityFactors: phaseFactors(assignments, opts.PhaseStd, rng),
+			ActivityFactors: phaseFactorsInto(&scr.factors, assignments, opts.PhaseStd, rng),
 		})
 		if err != nil {
 			return fmt.Errorf("profiler: scenario %d: %w", id, err)
 		}
-		samples[s] = metrics.Extract(ds.Catalog, ds.Config, res).Values
+		metrics.ExtractInto(samples[s], ds.Catalog, ds.Config, res)
 		for _, j := range res.Jobs {
 			sumMIPS[j.Job] += j.MIPS
 		}
@@ -199,7 +225,7 @@ func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options) erro
 
 	n := float64(opts.SamplesPerScenario)
 	names := ds.Catalog.Names()
-	col := make([]float64, opts.SamplesPerScenario)
+	col := scr.col
 	for i, name := range names {
 		baseIdx := i
 		if base, isStd := metrics.StdOf(name); isStd {
@@ -228,14 +254,18 @@ func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options) erro
 	return nil
 }
 
-// phaseFactors draws one temporal load multiplier per job for a sample
-// window, scaled by each job's catalog PhaseVariability. Returns nil when
-// phases are disabled.
-func phaseFactors(assignments []perfmodel.Assignment, phaseStd float64, rng *rand.Rand) []float64 {
+// phaseFactorsInto draws one temporal load multiplier per job for a
+// sample window, scaled by each job's catalog PhaseVariability, growing
+// the caller's reusable buffer as needed. Returns nil when phases are
+// disabled.
+func phaseFactorsInto(buf *[]float64, assignments []perfmodel.Assignment, phaseStd float64, rng *rand.Rand) []float64 {
 	if phaseStd <= 0 {
 		return nil
 	}
-	out := make([]float64, len(assignments))
+	if cap(*buf) < len(assignments) {
+		*buf = make([]float64, len(assignments))
+	}
+	out := (*buf)[:len(assignments)]
 	for i, a := range assignments {
 		f := math.Exp(rng.NormFloat64() * phaseStd * a.Profile.PhaseVariability)
 		out[i] = mathx.Clamp(f, 0.5, 1.5)

@@ -1,0 +1,8 @@
+//go:build race
+
+package profiler
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because instrumentation inflates
+// the counts.
+const raceEnabled = true
