@@ -30,14 +30,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Per-stage pipeline timings plus the metrics.Vector.Get micro-benchmark,
-# recorded under results/ so successive runs can be diffed (benchstat or
-# plain diff) to catch stage-level regressions. The same run is also
-# rendered to machine-readable JSON (stage name -> ns/op) for tooling.
+# Per-stage pipeline timings plus the metrics.Vector.Get and durable-
+# store micro-benchmarks, recorded under results/ so successive runs can
+# be diffed (benchstat or plain diff) to catch stage-level regressions.
+# The same run is also rendered to machine-readable JSON (stage name ->
+# ns/op) for tooling.
 bench-stages:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStages' -benchtime 3x . \
 		| tee results/bench-stages.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkVectorGet' ./internal/metrics \
+		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkStore(Append|Scan)$$' . \
 		| tee -a results/bench-stages.txt
 	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
 		-out results/BENCH_stages.json

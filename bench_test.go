@@ -10,6 +10,7 @@
 package flare
 
 import (
+	"bytes"
 	"context"
 	"strconv"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"flare/internal/machine"
 	"flare/internal/obs"
 	"flare/internal/report"
+	"flare/internal/store"
 )
 
 // benchEnv is shared across benchmarks: the environment build (trace,
@@ -387,4 +389,68 @@ func BenchmarkExtensionSchedulerPolicies(b *testing.B) {
 // study (extra replays per cluster).
 func BenchmarkExtensionConfidenceIntervals(b *testing.B) {
 	runTable(b, experiments.ExtensionConfidenceIntervals)
+}
+
+// BenchmarkStoreAppend measures durable-store append throughput through
+// the WAL group-commit path. Fsync is disabled so the number tracks the
+// engine's framing/memtable cost rather than the device's sync latency
+// (which `make bench-stages` would turn into noise across machines).
+func BenchmarkStoreAppend(b *testing.B) {
+	opts := store.DefaultOptions()
+	opts.SyncWrites = false
+	st, err := store.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	key := make([]byte, 0, 32)
+	val := bytes.Repeat([]byte("v"), 128)
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key = strconv.AppendInt(key[:0], int64(i), 10)
+		if err := st.Append(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreScan measures snapshot scans over a flushed store: 10k
+// keys across memtable and segments, full-range merge per iteration.
+func BenchmarkStoreScan(b *testing.B) {
+	opts := store.DefaultOptions()
+	opts.SyncWrites = false
+	st, err := store.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const keys = 10000
+	val := bytes.Repeat([]byte("v"), 128)
+	var key []byte
+	for i := 0; i < keys; i++ {
+		key = strconv.AppendInt(key[:0], int64(i), 10)
+		if err := st.Append(key, val); err != nil {
+			b.Fatal(err)
+		}
+		// Flush mid-load so the scan merges segments with the memtable.
+		if i == keys/2 {
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := st.Snapshot()
+		n := 0
+		snap.Scan(func(k, v []byte) bool {
+			n++
+			return true
+		})
+		snap.Release()
+		if n != keys {
+			b.Fatalf("scan saw %d keys, want %d", n, keys)
+		}
+	}
 }

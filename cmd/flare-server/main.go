@@ -3,15 +3,26 @@
 //
 // Usage:
 //
-//	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1] [-quiet-requests]
+//	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1] [-db-dir DIR] [-quiet-requests]
 //
 // Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
 // /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC],
-// /api/plan, /metrics (Prometheus text), /api/trace (span trees), and
-// /debug/pprof/. The pipeline build itself runs under the server's
-// tracer, so its Profile/Analyze stage timings are scrapeable at
-// /metrics and inspectable at /api/trace from the first request.
-// The process shuts down gracefully on SIGINT/SIGTERM.
+// /api/plan, /api/db/tables, /api/db/query, /metrics (Prometheus text),
+// /api/trace (span trees), and /debug/pprof/. The pipeline build itself
+// runs under the server's tracer, so its Profile/Analyze stage timings
+// are scrapeable at /metrics and inspectable at /api/trace from the
+// first request.
+//
+// With -db-dir the profiled dataset is recorded in a durable metric
+// database (internal/store WAL + segments) under that directory: the
+// first run journals every sample as it is stored, and a restart against
+// the same directory recovers the recorded history — /api/db/query
+// serves the same rows before and after. Without -db-dir the database is
+// in-memory only.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests drain through http.Server.Shutdown, then the store is flushed
+// and closed.
 package main
 
 import (
@@ -29,8 +40,11 @@ import (
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/machine"
+	"flare/internal/metricdb"
 	"flare/internal/obs"
+	"flare/internal/profiler"
 	"flare/internal/server"
+	"flare/internal/store"
 )
 
 func main() {
@@ -45,6 +59,7 @@ func run() error {
 	days := flag.Int("days", 14, "simulated collection window in days")
 	clusters := flag.Int("clusters", 18, "representative count")
 	seed := flag.Int64("seed", 1, "random seed")
+	dbDir := flag.String("db-dir", "", "durable metric database directory (empty: in-memory only)")
 	quiet := flag.Bool("quiet-requests", false, "disable per-request log lines")
 	flag.Parse()
 
@@ -54,6 +69,27 @@ func run() error {
 	tracer := obs.NewTracer(reg)
 	ctx := obs.WithTracer(context.Background(), tracer)
 	ctx, buildSpan := obs.StartSpan(ctx, "server.build")
+
+	// Open the metric database before the (slow) pipeline build so a bad
+	// -db-dir fails fast. The store must be closed on every exit path;
+	// the deferred close is a no-op after the explicit shutdown close.
+	var db *metricdb.DB
+	var st *store.Store
+	if *dbDir != "" {
+		var err error
+		st, err = store.Open(*dbDir, store.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		db, err = metricdb.OpenDB(st)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("durable metric database at %s (%d segments)\n", *dbDir, st.Stats().Segments)
+	} else {
+		db = metricdb.NewDB()
+	}
 
 	fmt.Printf("building pipeline (%d-day trace)...\n", *days)
 	simCfg := dcsim.DefaultConfig()
@@ -78,11 +114,21 @@ func run() error {
 	if err := p.AnalyzeContext(ctx); err != nil {
 		return err
 	}
+
+	// Record the dataset once: a restart against a populated -db-dir
+	// serves the journaled history instead of appending a duplicate run.
+	if profiler.Stored(db) {
+		fmt.Println("metric database already populated; serving recorded history")
+	} else if err := p.PersistDatasetContext(ctx, db); err != nil {
+		return err
+	}
 	buildSpan.End()
+
 	srv, err := server.NewWithTelemetry(p, machine.PaperFeatures(), reg, tracer)
 	if err != nil {
 		return err
 	}
+	srv.AttachDB(db)
 	if !*quiet {
 		srv.Logger = log.New(os.Stdout, "", log.LstdFlags)
 	}
@@ -108,11 +154,21 @@ func run() error {
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return nil
 	case sig := <-stop:
 		fmt.Printf("received %s, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			return err
+		}
 	}
+	// Requests have drained; flush the memtable and close the WAL so the
+	// next start recovers instantly from segments.
+	if st != nil {
+		fmt.Println("flushing metric store")
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

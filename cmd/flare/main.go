@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-per-job] [-v] [-trace-out trace.json]
+//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-db-dir DIR] [-per-job] [-v] [-trace-out trace.json]
 //
 // With -scenarios, the population is loaded from a JSON file written by
-// the dcsim command instead of being re-simulated. With -trace-out, the
-// run's span tree (every pipeline stage with timings and attributes) is
-// written as JSON; -v additionally prints a per-stage timing summary, so
-// batch runs get the same visibility as the server's /api/trace.
+// the dcsim command instead of being re-simulated. With -db-dir, the
+// profiled dataset is recorded in a durable metric database (WAL +
+// segment store) under that directory for later inspection — e.g. by
+// flare-server's /api/db endpoints. With -trace-out, the run's span tree
+// (every pipeline stage with timings and attributes) is written as JSON;
+// -v additionally prints a per-stage timing summary, so batch runs get
+// the same visibility as the server's /api/trace.
 package main
 
 import (
@@ -26,10 +29,13 @@ import (
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/machine"
+	"flare/internal/metricdb"
 	"flare/internal/obs"
 	"flare/internal/perfscore"
+	"flare/internal/profiler"
 	"flare/internal/replayer"
 	"flare/internal/scenario"
+	"flare/internal/store"
 	"flare/internal/workload"
 )
 
@@ -50,6 +56,7 @@ func run() error {
 	verbose := flag.Bool("v", false, "print the PC interpretations and representative scenarios")
 	planOut := flag.String("plan-out", "", "write the replay plan (representatives + weights) to this JSON file")
 	planIn := flag.String("plan", "", "skip profiling/analysis and estimate from a previously exported plan")
+	dbDir := flag.String("db-dir", "", "record the profiled dataset in a durable metric database at this directory")
 	catalogPath := flag.String("catalog", "", "load a site-specific job catalog from this JSON file")
 	catalogOut := flag.String("catalog-out", "", "write the default job catalog as JSON (template for -catalog) and exit")
 	traceOut := flag.String("trace-out", "", "write the run's span-tree telemetry to this JSON file")
@@ -114,6 +121,33 @@ func run() error {
 	fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
 	if err := p.AnalyzeContext(ctx); err != nil {
 		return err
+	}
+
+	if *dbDir != "" {
+		st, err := store.Open(*dbDir, store.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		db, err := metricdb.OpenDB(st)
+		if err != nil {
+			st.Close()
+			return err
+		}
+		if profiler.Stored(db) {
+			fmt.Printf("metric database %s already holds a dataset; not re-recording\n", *dbDir)
+			if err := st.Close(); err != nil {
+				return err
+			}
+		} else {
+			if err := p.PersistDatasetContext(ctx, db); err != nil {
+				st.Close()
+				return err
+			}
+			if err := st.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("recorded profiled dataset in %s\n", *dbDir)
+		}
 	}
 
 	an := p.Analysis()

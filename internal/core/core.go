@@ -18,6 +18,7 @@ import (
 
 	"flare/internal/analyzer"
 	"flare/internal/machine"
+	"flare/internal/metricdb"
 	"flare/internal/metrics"
 	"flare/internal/obs"
 	"flare/internal/perfscore"
@@ -177,6 +178,28 @@ func (p *Pipeline) EvaluateFeatureForJobContext(ctx context.Context, feat machin
 	}
 	span.SetAttr("scenarios_replayed", est.ScenariosReplayed)
 	return est, nil
+}
+
+// PersistDataset records the profiled dataset into db (the paper's
+// relational recording of collected statistics). With a store-backed db
+// (metricdb.OpenDB) the samples are journaled durably as they are
+// written. Profile must have been called.
+func (p *Pipeline) PersistDataset(db *metricdb.DB) error {
+	return p.PersistDatasetContext(context.Background(), db)
+}
+
+// PersistDatasetContext is PersistDataset with span tracing
+// ("pipeline.persist" wrapping the profiler's store span).
+func (p *Pipeline) PersistDatasetContext(ctx context.Context, db *metricdb.DB) error {
+	if p.dataset == nil {
+		return errors.New("core: PersistDataset called before Profile")
+	}
+	ctx, span := obs.StartSpan(ctx, "pipeline.persist")
+	defer span.End()
+	if err := p.dataset.StoreContext(ctx, db); err != nil {
+		return fmt.Errorf("core: persisting dataset: %w", err)
+	}
+	return nil
 }
 
 // Dataset returns the profiled dataset (nil before Profile).

@@ -1,0 +1,183 @@
+// Durable backing for the metric database: a Backend implementation that
+// journals every table definition and row append into internal/store's
+// WAL + segment engine, and OpenDB, which rebuilds a DB from that journal
+// after a restart or crash.
+//
+// Key layout inside the store (ascending scan order is load order):
+//
+//	r\x00<table>\x00<seq: uint64 BE>  -> JSON-encoded Row
+//	s\x00<table>                      -> JSON-encoded schema
+//
+// Row keys embed a per-table big-endian sequence number, so the store's
+// sorted scan yields rows in exactly the order they were inserted and a
+// reconstructed table is byte-identical (WriteJSON) to the original.
+package metricdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"flare/internal/store"
+)
+
+const (
+	rowKeyPrefix    = "r\x00"
+	schemaKeyPrefix = "s\x00"
+)
+
+// rowKey builds the store key for the seq'th row of a table.
+func rowKey(table string, seq uint64) []byte {
+	k := make([]byte, 0, len(rowKeyPrefix)+len(table)+1+8)
+	k = append(k, rowKeyPrefix...)
+	k = append(k, table...)
+	k = append(k, 0)
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	return append(k, s[:]...)
+}
+
+// parseRowKey splits a row key into table name and sequence number.
+func parseRowKey(k []byte) (table string, seq uint64, ok bool) {
+	if !bytes.HasPrefix(k, []byte(rowKeyPrefix)) || len(k) < len(rowKeyPrefix)+1+8 {
+		return "", 0, false
+	}
+	body := k[len(rowKeyPrefix):]
+	name := body[:len(body)-9]
+	if body[len(name)] != 0 {
+		return "", 0, false
+	}
+	return string(name), binary.BigEndian.Uint64(body[len(name)+1:]), true
+}
+
+// schemaRecord is the journaled form of a table definition.
+type schemaRecord struct {
+	Name    string   `json:"name"`
+	Columns []Column `json:"columns"`
+}
+
+// StoreBackend journals metricdb mutations into an embedded store. Every
+// Insert is a durable WAL append (group-committed with concurrent
+// writers) — the profiler's samples stream to disk as they are recorded
+// instead of relying on an end-of-run dump.
+type StoreBackend struct {
+	st *store.Store
+
+	mu      sync.Mutex
+	nextSeq map[string]uint64
+}
+
+// NewStoreBackend wraps an open store. Use OpenDB instead when the store
+// may already hold journaled tables.
+func NewStoreBackend(st *store.Store) *StoreBackend {
+	return &StoreBackend{st: st, nextSeq: make(map[string]uint64)}
+}
+
+// CreateTable journals a schema record.
+func (b *StoreBackend) CreateTable(name string, columns []Column) error {
+	val, err := json.Marshal(schemaRecord{Name: name, Columns: columns})
+	if err != nil {
+		return err
+	}
+	key := append([]byte(schemaKeyPrefix), name...)
+	return b.st.Append(key, val)
+}
+
+// Insert journals one row under the table's next sequence number.
+func (b *StoreBackend) Insert(table string, r Row) error {
+	val, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	seq := b.nextSeq[table]
+	b.nextSeq[table] = seq + 1
+	b.mu.Unlock()
+	return b.st.Append(rowKey(table, seq), val)
+}
+
+// Store returns the underlying engine (for stats and lifecycle).
+func (b *StoreBackend) Store() *store.Store { return b.st }
+
+// OpenDB reconstructs a database from the journal in st and attaches a
+// backend so further mutations stay durable. Opening an empty store
+// yields an empty durable DB. The recovered DB serves exactly the rows
+// that were durably journaled before the last shutdown or crash.
+func OpenDB(st *store.Store) (*DB, error) {
+	sn := st.Snapshot()
+	defer sn.Release()
+
+	schemas := make(map[string]schemaRecord)
+	rowsByTable := make(map[string][]Row)
+	nextSeq := make(map[string]uint64)
+	var names []string // schema order: ascending table name, per scan
+
+	var scanErr error
+	sn.Scan(func(k, v []byte) bool {
+		switch {
+		case bytes.HasPrefix(k, []byte(schemaKeyPrefix)):
+			var rec schemaRecord
+			if err := json.Unmarshal(v, &rec); err != nil {
+				scanErr = fmt.Errorf("metricdb: decoding schema %q: %w", k, err)
+				return false
+			}
+			schemas[rec.Name] = rec
+			names = append(names, rec.Name)
+		case bytes.HasPrefix(k, []byte(rowKeyPrefix)):
+			table, seq, ok := parseRowKey(k)
+			if !ok {
+				scanErr = fmt.Errorf("metricdb: malformed row key %q", k)
+				return false
+			}
+			var r Row
+			if err := json.Unmarshal(v, &r); err != nil {
+				scanErr = fmt.Errorf("metricdb: decoding row %q: %w", k, err)
+				return false
+			}
+			// Scan order is seq order within a table.
+			rowsByTable[table] = append(rowsByTable[table], r)
+			if seq >= nextSeq[table] {
+				nextSeq[table] = seq + 1
+			}
+		default:
+			scanErr = fmt.Errorf("metricdb: unknown journal key %q", k)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	// Build in-memory first (no backend attached) — the journal already
+	// holds these records; replaying them must not re-journal.
+	db := NewDB()
+	for _, name := range names {
+		rec := schemas[name]
+		t, err := db.CreateTable(rec.Name, rec.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("metricdb: rebuilding table %s: %w", rec.Name, err)
+		}
+		for i, r := range rowsByTable[rec.Name] {
+			if err := t.Insert(r); err != nil {
+				return nil, fmt.Errorf("metricdb: rebuilding %s row %d: %w", rec.Name, i, err)
+			}
+		}
+		delete(rowsByTable, rec.Name)
+	}
+	for table := range rowsByTable {
+		return nil, fmt.Errorf("metricdb: journal has rows for unknown table %s", table)
+	}
+
+	// Now attach the backend, seeded past the recovered sequence numbers.
+	backend := &StoreBackend{st: st, nextSeq: nextSeq}
+	db.backend = backend
+	db.mu.Lock()
+	for _, t := range db.tables {
+		t.backend = backend
+	}
+	db.mu.Unlock()
+	return db, nil
+}

@@ -64,6 +64,19 @@ func String(s string) Value { return Value{S: s} }
 // Row is one record, with cells parallel to the table's columns.
 type Row []Value
 
+// Backend receives every schema definition and row append of a DB,
+// letting a durable engine journal them before they are applied in
+// memory. Implementations must be safe for concurrent use. A nil backend
+// keeps the DB purely in-memory (the historical behaviour).
+type Backend interface {
+	// CreateTable journals a new table's schema.
+	CreateTable(name string, columns []Column) error
+	// Insert journals one row append. Calls for one table arrive in
+	// insertion order (the table's lock is held across the call), so the
+	// journal replays to an identical table.
+	Insert(table string, r Row) error
+}
+
 // Table is a typed, append-only relation. It is safe for concurrent use:
 // inserts take the write lock, queries the read lock.
 type Table struct {
@@ -72,6 +85,7 @@ type Table struct {
 	columns []Column
 	colIdx  map[string]int
 	rows    []Row
+	backend Backend // nil for in-memory tables
 }
 
 // NewTable creates a table with the given schema. Column names must be
@@ -122,6 +136,8 @@ func (t *Table) Len() int {
 }
 
 // Insert appends a row. The row must have exactly one cell per column.
+// With a backend attached the row is journaled durably first; a journal
+// failure leaves the in-memory table unchanged.
 func (t *Table) Insert(r Row) error {
 	if len(r) != len(t.columns) {
 		return fmt.Errorf("metricdb: table %s insert with %d cells, want %d", t.name, len(r), len(t.columns))
@@ -130,6 +146,13 @@ func (t *Table) Insert(r Row) error {
 	defer t.mu.Unlock()
 	cp := make(Row, len(r))
 	copy(cp, r)
+	// Journal under the lock so the backend's sequence order matches the
+	// in-memory row order exactly — reconstruction is then byte-identical.
+	if t.backend != nil {
+		if err := t.backend.Insert(t.name, cp); err != nil {
+			return fmt.Errorf("metricdb: journaling %s insert: %w", t.name, err)
+		}
+	}
 	t.rows = append(t.rows, cp)
 	return nil
 }
@@ -180,18 +203,30 @@ func (t *Table) Floats(column string, where func(Row) bool) ([]float64, error) {
 	return out, nil
 }
 
-// DB is a named collection of tables.
+// DB is a named collection of tables, optionally journaling every
+// mutation through a Backend for durability.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	backend Backend
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty in-memory database.
 func NewDB() *DB {
 	return &DB{tables: make(map[string]*Table)}
 }
 
+// NewDBWithBackend returns an empty database that journals every
+// CreateTable and Insert through b. Use store-backed backends (see
+// NewStoreBackend / OpenDB) to make the database survive restarts.
+func NewDBWithBackend(b Backend) *DB {
+	db := NewDB()
+	db.backend = b
+	return db
+}
+
 // CreateTable adds a new table. It fails if the name already exists.
+// With a backend attached the schema is journaled durably first.
 func (db *DB) CreateTable(name string, columns []Column) (*Table, error) {
 	t, err := NewTable(name, columns)
 	if err != nil {
@@ -201,6 +236,12 @@ func (db *DB) CreateTable(name string, columns []Column) (*Table, error) {
 	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("metricdb: table %s already exists", name)
+	}
+	if db.backend != nil {
+		if err := db.backend.CreateTable(name, t.Columns()); err != nil {
+			return nil, fmt.Errorf("metricdb: journaling table %s: %w", name, err)
+		}
+		t.backend = db.backend
 	}
 	db.tables[name] = t
 	return t, nil

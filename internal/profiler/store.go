@@ -1,9 +1,12 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"flare/internal/metricdb"
+	"flare/internal/obs"
 )
 
 // Table names used in the metric database.
@@ -14,8 +17,20 @@ const (
 
 // Store writes the dataset into the metric database, creating the
 // "samples" and "job_perf" tables (the paper's relational recording of
-// collected statistics).
+// collected statistics). When the database is store-backed (see
+// metricdb.OpenDB) every insert is journaled through the write-ahead log
+// as it happens, so a crash mid-store keeps all rows written so far —
+// the history no longer depends on an end-of-run dump.
 func (ds *Dataset) Store(db *metricdb.DB) error {
+	return ds.StoreContext(context.Background(), db)
+}
+
+// StoreContext is Store with span tracing: a "profiler.store" span
+// records how many rows were recorded.
+func (ds *Dataset) StoreContext(ctx context.Context, db *metricdb.DB) error {
+	_, span := obs.StartSpan(ctx, "profiler.store")
+	defer span.End()
+
 	samples, err := db.CreateTable(samplesTable, []metricdb.Column{
 		{Name: "scenario", Type: metricdb.TypeInt},
 		{Name: "metric", Type: metricdb.TypeString},
@@ -33,6 +48,7 @@ func (ds *Dataset) Store(db *metricdb.DB) error {
 		return fmt.Errorf("profiler: %w", err)
 	}
 
+	rows := 0
 	names := ds.Catalog.Names()
 	for id := 0; id < ds.Scenarios.Len(); id++ {
 		for col, name := range names {
@@ -44,19 +60,37 @@ func (ds *Dataset) Store(db *metricdb.DB) error {
 			if err != nil {
 				return fmt.Errorf("profiler: %w", err)
 			}
+			rows++
 		}
-		for job, mips := range ds.JobMIPS[id] {
+		// Sorted jobs, not map order: the stored row sequence (and so the
+		// journaled byte stream) must be identical run to run.
+		jobs := make([]string, 0, len(ds.JobMIPS[id]))
+		for job := range ds.JobMIPS[id] {
+			jobs = append(jobs, job)
+		}
+		sort.Strings(jobs)
+		for _, job := range jobs {
 			err := jobPerf.Insert(metricdb.Row{
 				metricdb.Int(int64(id)),
 				metricdb.String(job),
-				metricdb.Float(mips),
+				metricdb.Float(ds.JobMIPS[id][job]),
 			})
 			if err != nil {
 				return fmt.Errorf("profiler: %w", err)
 			}
+			rows++
 		}
 	}
+	span.SetAttr("rows", rows)
 	return nil
+}
+
+// Stored reports whether db already holds a profiled dataset (the
+// "samples" table exists) — e.g. a server restarted against a durable
+// database directory should load rather than re-store.
+func Stored(db *metricdb.DB) bool {
+	_, err := db.Table(samplesTable)
+	return err == nil
 }
 
 // LoadMatrix reads the "samples" table back into the dataset's matrix

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"flare/internal/metricdb"
+)
+
+// AttachDB exposes a metric database (typically the durable, store-backed
+// one opened from -db-dir) at /api/db/tables and /api/db/query. Call
+// before Handler; without it those routes answer 404.
+func (s *Server) AttachDB(db *metricdb.DB) { s.db = db }
+
+// tableInfo describes one table at /api/db/tables.
+type tableInfo struct {
+	Name    string       `json:"name"`
+	Columns []columnInfo `json:"columns"`
+	Rows    int          `json:"rows"`
+}
+
+type columnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// handleDBTables lists the database's tables with schemas and row counts.
+func (s *Server) handleDBTables(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.db == nil {
+		writeError(w, http.StatusNotFound, "no metric database attached (start flare-server with -db-dir)")
+		return
+	}
+	out := make([]tableInfo, 0)
+	for _, name := range s.db.TableNames() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "resolving table %s: %v", name, err)
+			return
+		}
+		info := tableInfo{Name: name, Rows: t.Len()}
+		for _, c := range t.Columns() {
+			info.Columns = append(info.Columns, columnInfo{Name: c.Name, Type: c.Type.String()})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryResponse is a page of rows from one table.
+type queryResponse struct {
+	Table   string          `json:"table"`
+	Columns []columnInfo    `json:"columns"`
+	Total   int             `json:"total_rows"`
+	Offset  int             `json:"offset"`
+	Rows    [][]interface{} `json:"rows"`
+}
+
+const (
+	queryDefaultLimit = 100
+	queryMaxLimit     = 10000
+)
+
+// handleDBQuery serves rows from one table with paging and an optional
+// per-column equality filter:
+//
+//	GET /api/db/query?table=samples[&col=metric&eq=MIPS][&offset=0][&limit=100]
+//
+// Cells are rendered as native JSON values (numbers / strings) in column
+// order; total_rows counts every row matching the filter, before paging.
+func (s *Server) handleDBQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if s.db == nil {
+		writeError(w, http.StatusNotFound, "no metric database attached (start flare-server with -db-dir)")
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("table")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing table parameter")
+		return
+	}
+	t, err := s.db.Table(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	where, err := buildFilter(t, q.Get("col"), q.Get("eq"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		return
+	}
+	limit, err := intParam(q.Get("limit"), queryDefaultLimit)
+	if err != nil || limit < 0 {
+		writeError(w, http.StatusBadRequest, "bad limit %q", q.Get("limit"))
+		return
+	}
+	if limit > queryMaxLimit {
+		limit = queryMaxLimit
+	}
+
+	cols := t.Columns()
+	resp := queryResponse{Table: name, Offset: offset, Rows: make([][]interface{}, 0, limit)}
+	for _, c := range cols {
+		resp.Columns = append(resp.Columns, columnInfo{Name: c.Name, Type: c.Type.String()})
+	}
+	for _, row := range t.Select(where) {
+		resp.Total++
+		if resp.Total <= offset || len(resp.Rows) >= limit {
+			continue
+		}
+		cells := make([]interface{}, len(row))
+		for i, v := range row {
+			switch cols[i].Type {
+			case metricdb.TypeFloat:
+				cells[i] = v.F
+			case metricdb.TypeInt:
+				cells[i] = v.I
+			default:
+				cells[i] = v.S
+			}
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildFilter turns col/eq query parameters into a row predicate. The eq
+// literal is parsed per the column's type.
+func buildFilter(t *metricdb.Table, col, eq string) (func(metricdb.Row) bool, error) {
+	if col == "" && eq == "" {
+		return nil, nil
+	}
+	if col == "" || eq == "" {
+		return nil, errors.New("col and eq must be given together")
+	}
+	idx, err := t.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Columns()[idx].Type {
+	case metricdb.TypeFloat:
+		want, err := strconv.ParseFloat(eq, 64)
+		if err != nil {
+			return nil, err
+		}
+		return func(r metricdb.Row) bool { return r[idx].F == want }, nil
+	case metricdb.TypeInt:
+		want, err := strconv.ParseInt(eq, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return func(r metricdb.Row) bool { return r[idx].I == want }, nil
+	default:
+		return func(r metricdb.Row) bool { return r[idx].S == eq }, nil
+	}
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

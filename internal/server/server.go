@@ -9,6 +9,8 @@
 //	GET /api/scenarios[?job=DC]        the scenario population (optionally filtered)
 //	GET /api/estimate?feature=feature1[&job=DC]   impact estimate (cached)
 //	GET /api/plan                      portable replay plan
+//	GET /api/db/tables                 metric database tables + schemas (with AttachDB)
+//	GET /api/db/query?table=samples    metric database rows (paged, filterable)
 //	GET /metrics                       Prometheus text exposition
 //	GET /api/trace                     recorded span trees (JSON)
 //	GET /debug/pprof/                  runtime profiling
@@ -33,6 +35,7 @@ import (
 
 	"flare/internal/core"
 	"flare/internal/machine"
+	"flare/internal/metricdb"
 	"flare/internal/obs"
 	"flare/internal/replayer"
 )
@@ -41,6 +44,7 @@ import (
 type Server struct {
 	pipeline *core.Pipeline
 	features map[string]machine.Feature
+	db       *metricdb.DB // optional; set via AttachDB before Handler
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -111,6 +115,8 @@ func (s *Server) Handler() http.Handler {
 	route("/api/scenarios", s.handleScenarios)
 	route("/api/estimate", s.handleEstimate)
 	route("/api/plan", s.handlePlan)
+	route("/api/db/tables", s.handleDBTables)
+	route("/api/db/query", s.handleDBQuery)
 	route("/metrics", s.handleMetrics)
 	route("/api/trace", s.handleTrace)
 	route("/debug/pprof/", pprof.Index)

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const manifestName = "MANIFEST"
+
+// manifestState is the store's durable catalog: which segment files are
+// live (oldest first), which WAL generation is current, and the next
+// fresh segment id. It is tiny and rewritten whole — temp file, fsync,
+// rename, dir fsync — so a crash leaves either the old or the new
+// catalog, never a mix.
+type manifestState struct {
+	// WALGen numbers the current write-ahead log file (wal-<gen>.log).
+	// Flushes bump it, making every WAL generation correspond to exactly
+	// one memtable lifetime.
+	WALGen uint64 `json:"wal_gen"`
+	// Segments lists live segment ids, oldest first. Scans resolve
+	// duplicate keys newest-segment-wins.
+	Segments []uint64 `json:"segments"`
+	// NextSegID is the id the next flushed or compacted segment takes.
+	NextSegID uint64 `json:"next_segment_id"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", gen))
+}
+
+// loadManifest reads the catalog; a missing file is a fresh store.
+func loadManifest(dir string) (manifestState, error) {
+	var st manifestState
+	buf, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(buf, &st); err != nil {
+		return st, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	return st, nil
+}
+
+// saveManifest atomically replaces the catalog.
+func saveManifest(dir string, st manifestState) error {
+	buf, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		return fmt.Errorf("store: publishing manifest: %w", err)
+	}
+	return syncDir(dir)
+}

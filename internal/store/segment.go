@@ -1,0 +1,165 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// segMagic is the segment file header. Bumping the trailing digits
+// versions the on-disk format.
+var segMagic = []byte("FLSEG001")
+
+// entry is one key/value pair owned by the engine (never aliasing caller
+// or file-read buffers that may be recycled).
+type entry struct {
+	key   []byte
+	value []byte
+}
+
+// segment is one immutable, sorted on-disk run. Readers hold references;
+// the file is deleted only when it has been dropped from the manifest
+// (dead) and the last reference is released, so snapshots opened before a
+// compaction keep reading the exact files they started with.
+type segment struct {
+	id      uint64
+	path    string
+	entries []entry // ascending, unique keys
+
+	refs atomic.Int32
+	dead atomic.Bool
+}
+
+func (s *segment) acquire() { s.refs.Add(1) }
+
+// release drops one reference, removing the file once the segment is both
+// dead and unreferenced. Removal errors are ignored: a leftover file is
+// re-collected as an orphan on the next Open.
+func (s *segment) release() {
+	if s.refs.Add(-1) == 0 && s.dead.Load() {
+		_ = os.Remove(s.path)
+	}
+}
+
+// markDead flags the segment as dropped from the manifest and releases
+// the store's own reference.
+func (s *segment) markDead() {
+	s.dead.Store(true)
+	s.release()
+}
+
+func segmentPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.seg", id))
+}
+
+// writeSegment persists sorted entries as segment id under dir, fsyncing
+// the file and the directory before the atomic rename publishes it.
+func writeSegment(dir string, id uint64, entries []entry) (string, error) {
+	path := segmentPath(dir, id)
+	tmp := path + ".tmp"
+	buf := make([]byte, 0, len(segMagic)+segmentSize(entries))
+	buf = append(buf, segMagic...)
+	for _, e := range entries {
+		buf = appendFrame(buf, e.key, e.value)
+	}
+	if err := writeFileSync(tmp, buf); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("store: publishing segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// segmentSize is the framed byte size of a run of entries.
+func segmentSize(entries []entry) int {
+	n := 0
+	for _, e := range entries {
+		n += frameHeaderSize + 2 + len(e.key) + len(e.value) // ~2 varint bytes
+	}
+	return n
+}
+
+// openSegment loads a segment file fully into memory. Segments hold the
+// profiler's numeric history and stay small (the memtable flush threshold
+// bounds them); trading residency for zero read syscalls keeps scans
+// allocation-free.
+func openSegment(dir string, id uint64) (*segment, error) {
+	path := segmentPath(dir, id)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading segment: %w", err)
+	}
+	if !bytes.HasPrefix(buf, segMagic) {
+		return nil, fmt.Errorf("store: segment %s: bad magic", path)
+	}
+	body := buf[len(segMagic):]
+	recs, valid := decodeFrames(body)
+	if valid != len(body) {
+		return nil, fmt.Errorf("store: segment %s: corrupt frame at offset %d", path, len(segMagic)+valid)
+	}
+	entries := make([]entry, len(recs))
+	for i, r := range recs {
+		entries[i] = entry{key: r.key, value: r.value}
+		if i > 0 && bytes.Compare(entries[i-1].key, r.key) >= 0 {
+			return nil, fmt.Errorf("store: segment %s: keys out of order at record %d", path, i)
+		}
+	}
+	seg := &segment{id: id, path: path, entries: entries}
+	seg.refs.Store(1) // the store's own reference
+	return seg, nil
+}
+
+// get returns the value for key, if present.
+func (s *segment) get(key []byte) ([]byte, bool) {
+	i := sort.Search(len(s.entries), func(i int) bool {
+		return bytes.Compare(s.entries[i].key, key) >= 0
+	})
+	if i < len(s.entries) && bytes.Equal(s.entries[i].key, key) {
+		return s.entries[i].value, true
+	}
+	return nil, false
+}
+
+// writeFileSync writes buf to path and fsyncs it.
+func writeFileSync(path string, buf []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	return nil
+}

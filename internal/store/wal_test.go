@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"flare/internal/obs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	want := []record{
+		{key: []byte("a"), value: []byte("1")},
+		{key: []byte("bb"), value: nil},
+		{key: []byte("ccc"), value: bytes.Repeat([]byte{0xff}, 1000)},
+		{key: []byte{0}, value: []byte{0, 0, 0}},
+	}
+	for _, r := range want {
+		buf = appendFrame(buf, r.key, r.value)
+	}
+	got, valid := decodeFrames(buf)
+	if valid != len(buf) {
+		t.Fatalf("valid = %d, want %d", valid, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].key, want[i].key) || !bytes.Equal(got[i].value, want[i].value) {
+			t.Errorf("record %d = %q/%q, want %q/%q", i, got[i].key, got[i].value, want[i].key, want[i].value)
+		}
+	}
+}
+
+func TestDecodeStopsAtTruncation(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, []byte("k1"), []byte("v1"))
+	whole := len(buf)
+	buf = appendFrame(buf, []byte("k2"), []byte("v2"))
+
+	for cut := whole + 1; cut < len(buf); cut++ {
+		recs, valid := decodeFrames(buf[:cut])
+		if len(recs) != 1 || valid != whole {
+			t.Fatalf("cut=%d: decoded %d records, valid=%d; want 1 record, valid=%d",
+				cut, len(recs), valid, whole)
+		}
+	}
+}
+
+func TestDecodeStopsAtCorruption(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, []byte("k1"), []byte("v1"))
+	whole := len(buf)
+	buf = appendFrame(buf, []byte("k2"), []byte("v2"))
+	buf = appendFrame(buf, []byte("k3"), []byte("v3"))
+
+	// Flip one bit in the second frame: decoding must stop after the
+	// first record and never surface the third.
+	for bit := 0; bit < 8; bit++ {
+		cp := append([]byte(nil), buf...)
+		cp[whole+4] ^= 1 << bit
+		recs, valid := decodeFrames(cp)
+		if len(recs) != 1 || valid != whole {
+			t.Fatalf("bit=%d: decoded %d records, valid=%d; want 1, %d", bit, len(recs), valid, whole)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeLength(t *testing.T) {
+	buf := make([]byte, frameHeaderSize)
+	buf[0] = 0xff
+	buf[1] = 0xff
+	buf[2] = 0xff
+	buf[3] = 0xff
+	recs, valid := decodeFrames(buf)
+	if len(recs) != 0 || valid != 0 {
+		t.Fatalf("huge length decoded: %d records, valid=%d", len(recs), valid)
+	}
+}
+
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "wal-000000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWAL(f, true, newStoreMetrics(obs.NewRegistry()))
+
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%02d-%04d", g, i)
+				if err := w.append(appendFrame(nil, []byte(key), []byte("v"))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid := decodeFrames(buf)
+	if valid != len(buf) {
+		t.Fatalf("wal has invalid tail: valid=%d len=%d", valid, len(buf))
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("wal holds %d records, want %d", len(recs), writers*per)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		seen[string(r.key)] = true
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("wal holds %d distinct keys, want %d", len(seen), writers*per)
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "wal-000000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWAL(f, false, newStoreMetrics(obs.NewRegistry()))
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(appendFrame(nil, []byte("k"), []byte("v"))); err == nil {
+		t.Error("append after close did not error")
+	}
+}
