@@ -1,0 +1,148 @@
+// Bench-regression comparison: `benchjson -compare` diffs two reports
+// produced by this tool and fails (exit 1) when any benchmark or stage
+// slowed down beyond the tolerance. CI runs it on pull requests against
+// the base ref's report so stage-level performance regressions block the
+// merge with a readable per-stage table instead of surfacing weeks later
+// in a dashboard.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// comparison is the JSON diff document -compare emits (one row per key
+// present in either report, sorted by name).
+type comparison struct {
+	TolerancePct float64 `json:"tolerance_pct"`
+	Regressions  int     `json:"regressions"`
+	Rows         []row   `json:"rows"`
+}
+
+// row compares one benchmark or stage across the two reports.
+type row struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"` // "benchmark" or "stage"
+	BaseNs   float64 `json:"base_ns,omitempty"`
+	HeadNs   float64 `json:"head_ns,omitempty"`
+	DeltaPct float64 `json:"delta_pct,omitempty"`
+	Status   string  `json:"status"` // ok | regression | improved | added | removed
+}
+
+// readReport loads a JSON report written by this tool.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare diffs base against head with the given tolerance (percent
+// slowdown allowed before a key counts as a regression).
+func compare(base, head *Report, tolerancePct float64) *comparison {
+	cmp := &comparison{TolerancePct: tolerancePct}
+	diffMap := func(kind string, b, h map[string]float64) {
+		names := make(map[string]bool, len(b)+len(h))
+		for n := range b {
+			names[n] = true
+		}
+		for n := range h {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			bv, inBase := b[n]
+			hv, inHead := h[n]
+			r := row{Name: n, Kind: kind, BaseNs: bv, HeadNs: hv}
+			switch {
+			case !inBase:
+				r.Status = "added"
+			case !inHead:
+				r.Status = "removed"
+			default:
+				r.DeltaPct = 100 * (hv - bv) / bv
+				switch {
+				case r.DeltaPct > tolerancePct:
+					r.Status = "regression"
+					cmp.Regressions++
+				case r.DeltaPct < -tolerancePct:
+					r.Status = "improved"
+				default:
+					r.Status = "ok"
+				}
+			}
+			cmp.Rows = append(cmp.Rows, r)
+		}
+	}
+	diffMap("benchmark", base.Benchmarks, head.Benchmarks)
+	diffMap("stage", base.Stages, head.Stages)
+	return cmp
+}
+
+// writeTable renders the comparison as an aligned text table. Only
+// regressions and improvements get called out loudly; unchanged rows
+// print so the table doubles as the full timing inventory.
+func writeTable(w io.Writer, cmp *comparison) {
+	fmt.Fprintf(w, "%-52s %14s %14s %9s  %s\n", "name", "base", "head", "delta", "status")
+	for _, r := range cmp.Rows {
+		switch r.Status {
+		case "added":
+			fmt.Fprintf(w, "%-52s %14s %14.0f %9s  added\n", r.Name, "-", r.HeadNs, "-")
+		case "removed":
+			fmt.Fprintf(w, "%-52s %14.0f %14s %9s  removed\n", r.Name, r.BaseNs, "-", "-")
+		default:
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f %+8.1f%%  %s\n",
+				r.Name, r.BaseNs, r.HeadNs, r.DeltaPct, r.Status)
+		}
+	}
+	fmt.Fprintf(w, "\ntolerance: +%.0f%%; regressions: %d\n", cmp.TolerancePct, cmp.Regressions)
+}
+
+// runCompare implements the -compare mode; it returns the process exit
+// code (1 when regressions were found).
+func runCompare(basePath, headPath, outPath string, tolerancePct float64) int {
+	base, err := readReport(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	head, err := readReport(headPath)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := compare(base, head, tolerancePct)
+	writeTable(os.Stdout, cmp)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if cmp.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%%\n",
+			cmp.Regressions, cmp.TolerancePct)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func reports() (base, head *Report) {
+	base = &Report{
+		Benchmarks: map[string]float64{
+			"BenchmarkSteady-8":  1000,
+			"BenchmarkSlower-8":  1000,
+			"BenchmarkFaster-8":  1000,
+			"BenchmarkRemoved-8": 1000,
+		},
+		Stages: map[string]float64{"analyze.kmeans": 5e6},
+	}
+	head = &Report{
+		Benchmarks: map[string]float64{
+			"BenchmarkSteady-8": 1100, // +10%: within tolerance
+			"BenchmarkSlower-8": 1400, // +40%: regression
+			"BenchmarkFaster-8": 500,  // -50%: improvement
+			"BenchmarkAdded-8":  42,
+		},
+		Stages: map[string]float64{"analyze.kmeans": 5e6},
+	}
+	return base, head
+}
+
+func findRow(t *testing.T, cmp *comparison, name string) row {
+	t.Helper()
+	for _, r := range cmp.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q missing from comparison", name)
+	return row{}
+}
+
+func TestCompareClassifiesRows(t *testing.T) {
+	base, head := reports()
+	cmp := compare(base, head, 25)
+	if cmp.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", cmp.Regressions)
+	}
+	for name, want := range map[string]string{
+		"BenchmarkSteady-8":  "ok",
+		"BenchmarkSlower-8":  "regression",
+		"BenchmarkFaster-8":  "improved",
+		"BenchmarkAdded-8":   "added",
+		"BenchmarkRemoved-8": "removed",
+		"analyze.kmeans":     "ok",
+	} {
+		if got := findRow(t, cmp, name).Status; got != want {
+			t.Errorf("%s status = %q, want %q", name, got, want)
+		}
+	}
+	if r := findRow(t, cmp, "BenchmarkSlower-8"); r.DeltaPct < 39 || r.DeltaPct > 41 {
+		t.Errorf("BenchmarkSlower-8 delta = %v, want ~40", r.DeltaPct)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	base := &Report{Benchmarks: map[string]float64{"BenchmarkX": 100}, Stages: map[string]float64{}}
+	head := &Report{Benchmarks: map[string]float64{"BenchmarkX": 125}, Stages: map[string]float64{}}
+	if cmp := compare(base, head, 25); cmp.Regressions != 0 {
+		t.Errorf("exactly +25%% counted as regression with 25%% tolerance")
+	}
+	head.Benchmarks["BenchmarkX"] = 126
+	if cmp := compare(base, head, 25); cmp.Regressions != 1 {
+		t.Errorf("+26%% not counted as regression with 25%% tolerance")
+	}
+}
+
+func TestWriteTableMentionsRegression(t *testing.T) {
+	base, head := reports()
+	var sb strings.Builder
+	writeTable(&sb, compare(base, head, 25))
+	out := sb.String()
+	for _, want := range []string{"BenchmarkSlower-8", "regression", "regressions: 1", "tolerance: +25%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 //	benchjson -in results/bench-stages.txt -out results/BENCH_stages.json
 //
 // With -in/-out omitted it reads stdin and writes stdout.
+//
+// A second mode compares two emitted reports for CI regression gating:
+//
+//	benchjson -compare -base base.json -current head.json [-tolerance 25] [-out diff.json]
+//
+// It prints a per-benchmark/per-stage delta table and exits 1 when any
+// timing slowed down by more than the tolerance percentage.
 package main
 
 import (
@@ -37,8 +44,19 @@ type Report struct {
 
 func main() {
 	in := flag.String("in", "", "benchmark output to parse (default stdin)")
-	out := flag.String("out", "", "JSON file to write (default stdout)")
+	out := flag.String("out", "", "JSON file to write (default stdout; in -compare mode: the diff document)")
+	doCompare := flag.Bool("compare", false, "compare two emitted reports instead of parsing bench output")
+	basePath := flag.String("base", "", "baseline report JSON for -compare")
+	currentPath := flag.String("current", "", "candidate report JSON for -compare")
+	tolerance := flag.Float64("tolerance", 25, "percent slowdown allowed before -compare fails")
 	flag.Parse()
+
+	if *doCompare {
+		if *basePath == "" || *currentPath == "" {
+			fatal(fmt.Errorf("-compare needs -base and -current"))
+		}
+		os.Exit(runCompare(*basePath, *currentPath, *out, *tolerance))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {

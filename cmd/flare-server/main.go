@@ -4,6 +4,8 @@
 // Usage:
 //
 //	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1] [-db-dir DIR] [-quiet-requests]
+//	             [-max-concurrent 64] [-request-timeout 30s] [-estimate-refresh 15m]
+//	             [-fault-spec SPEC] [-fault-seed 1]
 //
 // Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
 // /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC],
@@ -19,6 +21,14 @@
 // the same directory recovers the recorded history — /api/db/query
 // serves the same rows before and after. Without -db-dir the database is
 // in-memory only.
+//
+// The server degrades gracefully under load and store failures: excess
+// requests are shed with 429 + Retry-After (-max-concurrent), slow
+// estimate computations answer a bounded 503 (-request-timeout), and
+// when the durable store is unhealthy, previously served estimates come
+// back from last-known-good flagged "degraded": true instead of erroring.
+// -fault-spec/-fault-seed arm the deterministic fault injector (see
+// internal/fault) for drills against exactly those paths.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests drain through http.Server.Shutdown, then the store is flushed
@@ -39,6 +49,7 @@ import (
 
 	"flare/internal/core"
 	"flare/internal/dcsim"
+	"flare/internal/fault"
 	"flare/internal/machine"
 	"flare/internal/metricdb"
 	"flare/internal/obs"
@@ -61,7 +72,26 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random seed")
 	dbDir := flag.String("db-dir", "", "durable metric database directory (empty: in-memory only)")
 	quiet := flag.Bool("quiet-requests", false, "disable per-request log lines")
+	maxConcurrent := flag.Int("max-concurrent", 64, "in-flight /api requests before shedding with 429 (0: unlimited)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "bound on waiting for an estimate computation (0: unbounded)")
+	estRefresh := flag.Duration("estimate-refresh", 15*time.Minute, "age after which cached estimates are recomputed (0: cache forever)")
+	faultSpec := flag.String("fault-spec", "",
+		`inject deterministic faults, e.g. "store.wal.append=error@0.01;server.estimate=latency@0.1:2s" (see internal/fault)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault schedule; equal seeds give identical schedules")
 	flag.Parse()
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		rules, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		inj, err = fault.New(rules, *faultSeed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault injection armed: %q (seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	// The pipeline build runs under the same tracer the server exposes,
 	// so /api/trace shows the build span tree and /metrics its timings.
@@ -76,8 +106,10 @@ func run() error {
 	var db *metricdb.DB
 	var st *store.Store
 	if *dbDir != "" {
+		stOpts := store.DefaultOptions()
+		stOpts.Injector = inj
 		var err error
-		st, err = store.Open(*dbDir, store.DefaultOptions())
+		st, err = store.Open(*dbDir, stOpts)
 		if err != nil {
 			return err
 		}
@@ -129,6 +161,12 @@ func run() error {
 		return err
 	}
 	srv.AttachDB(db)
+	srv.SetResilience(server.Options{
+		RequestTimeout:  *reqTimeout,
+		MaxConcurrent:   *maxConcurrent,
+		EstimateRefresh: *estRefresh,
+		Injector:        inj,
+	})
 	if !*quiet {
 		srv.Logger = log.New(os.Stdout, "", log.LstdFlags)
 	}

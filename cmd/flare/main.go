@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-db-dir DIR] [-per-job] [-v] [-trace-out trace.json]
+//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-db-dir DIR] [-per-job] [-v] [-trace-out trace.json] [-fault-spec SPEC] [-fault-seed 1]
 //
 // With -scenarios, the population is loaded from a JSON file written by
 // the dcsim command instead of being re-simulated. With -db-dir, the
@@ -15,6 +15,12 @@
 // (every pipeline stage with timings and attributes) is written as JSON;
 // -v additionally prints a per-stage timing summary, so batch runs get
 // the same visibility as the server's /api/trace.
+//
+// With -fault-spec, deterministic faults are injected at the named sites
+// (dcsim machine failures, store write errors, replay transients — see
+// internal/fault for the grammar) and the recorded fault schedule is
+// printed after the run. The same -seed, -fault-seed, and -fault-spec
+// always reproduce the byte-identical run, faults included.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"flare/internal/clustertrace"
 	"flare/internal/core"
 	"flare/internal/dcsim"
+	"flare/internal/fault"
 	"flare/internal/machine"
 	"flare/internal/metricdb"
 	"flare/internal/obs"
@@ -60,6 +67,9 @@ func run() error {
 	catalogPath := flag.String("catalog", "", "load a site-specific job catalog from this JSON file")
 	catalogOut := flag.String("catalog-out", "", "write the default job catalog as JSON (template for -catalog) and exit")
 	traceOut := flag.String("trace-out", "", "write the run's span-tree telemetry to this JSON file")
+	faultSpec := flag.String("fault-spec", "",
+		`inject deterministic faults, e.g. "store.wal.append=error@0.01;dcsim.machine.fail=error@0.02" (see internal/fault)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault schedule; equal seeds give identical schedules")
 	flag.Parse()
 
 	if *catalogOut != "" {
@@ -79,12 +89,24 @@ func run() error {
 		return estimateFromPlan(*planIn, *seed, *perJob)
 	}
 
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		rules, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		inj, err = fault.New(rules, *faultSeed, nil)
+		if err != nil {
+			return err
+		}
+	}
+
 	// The whole run is one root span; each stage below nests under it.
 	tracer := obs.NewTracer(obs.NewRegistry())
 	ctx := obs.WithTracer(context.Background(), tracer)
 	ctx, root := obs.StartSpan(ctx, "flare.run")
 
-	set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed)
+	set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed, inj)
 	if err != nil {
 		return err
 	}
@@ -96,6 +118,7 @@ func run() error {
 	cfg.Analyze.Seed = *seed
 	cfg.Analyze.Clusters = *clusters
 	cfg.Replay.Seed = *seed
+	cfg.Replay.Injector = inj
 	if *catalogPath != "" {
 		f, err := os.Open(*catalogPath)
 		if err != nil {
@@ -124,7 +147,9 @@ func run() error {
 	}
 
 	if *dbDir != "" {
-		st, err := store.Open(*dbDir, store.DefaultOptions())
+		stOpts := store.DefaultOptions()
+		stOpts.Injector = inj
+		st, err := store.Open(*dbDir, stOpts)
 		if err != nil {
 			return err
 		}
@@ -228,6 +253,10 @@ func run() error {
 		}
 		fmt.Printf("wrote span-tree telemetry to %s\n", *traceOut)
 	}
+	if inj != nil {
+		fmt.Printf("\nfault schedule (seed %d, %d injected):\n%s",
+			*faultSeed, inj.Injected(), inj.ScheduleString())
+	}
 	return nil
 }
 
@@ -300,7 +329,8 @@ func estimateFromPlan(path string, seed int64, perJob bool) error {
 	return nil
 }
 
-func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, seed int64) (*scenario.Set, error) {
+func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, seed int64,
+	inj *fault.Injector) (*scenario.Set, error) {
 	_, span := obs.StartSpan(ctx, "flare.load_scenarios")
 	defer span.End()
 	if path != "" {
@@ -327,6 +357,7 @@ func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, 
 	cfg := dcsim.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Duration = time.Duration(days) * 24 * time.Hour
+	cfg.Faults = inj
 	fmt.Printf("simulating %d days of datacenter operation...\n", days)
 	trace, err := dcsim.Run(cfg)
 	if err != nil {

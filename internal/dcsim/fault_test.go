@@ -1,0 +1,118 @@
+package dcsim
+
+import (
+	"fmt"
+	"testing"
+
+	"flare/internal/fault"
+	"flare/internal/obs"
+)
+
+// faultInjector builds a fresh injector for one simulation run.
+func faultInjector(t *testing.T, spec string, seed int64) *fault.Injector {
+	t.Helper()
+	in, err := fault.New(fault.MustParseSpec(spec), seed, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestMachineFailuresDisplaceAndReschedule arms a high machine-failure
+// rate and checks the accounting invariants: every displaced instance is
+// either rescheduled on a survivor or rejected, and the rack's vCPU
+// bookkeeping stays consistent.
+func TestMachineFailuresDisplaceAndReschedule(t *testing.T) {
+	cfg := shortConfig()
+	cfg.RecordEvents = true
+	cfg.Faults = faultInjector(t, "dcsim.machine.fail=error@0.05", 42)
+	trace, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Stats
+	if st.MachineFailures == 0 {
+		t.Fatal("no machine failures injected at 5% per resize over a week")
+	}
+	if st.FailedInstances == 0 {
+		t.Error("machine failures displaced no instances")
+	}
+	if st.Rescheduled > st.FailedInstances {
+		t.Errorf("Rescheduled %d > FailedInstances %d", st.Rescheduled, st.FailedInstances)
+	}
+	if got := cfg.Faults.Injected(); got != st.MachineFailures {
+		t.Errorf("injector recorded %d faults, stats recorded %d failures", got, st.MachineFailures)
+	}
+	// The trace must still be structurally sound: replaying its event log
+	// is exercised elsewhere; here check per-machine vCPU conservation by
+	// summing the event ledger: schedules - evictions - finishes >= 0.
+	perMachine := make(map[int]int)
+	for _, e := range trace.Events {
+		switch e.Type.String() {
+		case "SCHEDULE":
+			perMachine[e.Machine] += e.Count
+		default:
+			perMachine[e.Machine] -= e.Count
+		}
+	}
+	for m, n := range perMachine {
+		if n < 0 {
+			t.Errorf("machine %d ends with negative instance ledger %d", m, n)
+		}
+	}
+}
+
+// TestMachineFailuresDeterministic runs the same config + fault spec +
+// seeds twice and requires byte-identical fault schedules and identical
+// traces — the core reproducibility claim of the injection layer.
+func TestMachineFailuresDeterministic(t *testing.T) {
+	run := func() (*Trace, string) {
+		cfg := shortConfig()
+		cfg.RecordEvents = true
+		cfg.Faults = faultInjector(t, "dcsim.machine.fail=error@0.05", 42)
+		trace, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, cfg.Faults.ScheduleString()
+	}
+	a, schedA := run()
+	b, schedB := run()
+	if schedA != schedB {
+		t.Fatalf("fault schedules differ across identical runs:\n%s\nvs\n%s", schedA, schedB)
+	}
+	if schedA == "" {
+		t.Fatal("empty fault schedule")
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Scenarios.Len() != b.Scenarios.Len() {
+		t.Errorf("scenario counts differ: %d vs %d", a.Scenarios.Len(), b.Scenarios.Len())
+	}
+	if fmt.Sprint(a.Events) != fmt.Sprint(b.Events) {
+		t.Error("event logs differ across identical runs")
+	}
+}
+
+// TestNilInjectorMatchesBaseline confirms threading a nil injector (the
+// production default) leaves the simulation byte-identical to one with no
+// Faults field at all.
+func TestNilInjectorMatchesBaseline(t *testing.T) {
+	base := shortConfig()
+	base.RecordEvents = true
+	withNil := base
+	withNil.Faults = nil
+
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(withNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || fmt.Sprint(a.Events) != fmt.Sprint(b.Events) {
+		t.Error("nil injector perturbed the simulation")
+	}
+}

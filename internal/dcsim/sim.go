@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"flare/internal/clustertrace"
+	"flare/internal/fault"
 	"flare/internal/machine"
 	"flare/internal/mathx"
 	"flare/internal/obs"
@@ -90,6 +92,16 @@ type Config struct {
 	// cluster-trace task event (Trace.Events), exportable with
 	// clustertrace.WriteCSV and replayable with clustertrace.Replay.
 	RecordEvents bool
+
+	// Faults optionally injects machine failures. After every resize
+	// event the site "dcsim.machine.fail" is evaluated; when it fires,
+	// the fault's Roll picks the victim machine, whose instances are all
+	// evicted at once and rescheduled across the surviving machines (the
+	// victim rejoins the rack empty, like a repaired host). Because the
+	// injector's per-site streams are independent of the simulation rng,
+	// the trace with faults armed is still fully determined by
+	// (Seed, fault seed, fault spec). A nil injector injects nothing.
+	Faults *fault.Injector
 }
 
 // DefaultConfig returns a configuration tuned to produce a scenario
@@ -146,12 +158,15 @@ type Trace struct {
 
 // Stats summarises a simulation run.
 type Stats struct {
-	Resizes       int           // deployment resize events processed
-	Scheduled     int           // instances placed
-	Evicted       int           // instances removed by scale-downs
-	Rejected      int           // instances denied for lack of capacity
-	Transitions   int           // machine-state changes observed
-	SimulatedSpan time.Duration // trace length
+	Resizes         int           // deployment resize events processed
+	Scheduled       int           // instances placed
+	Evicted         int           // instances removed by scale-downs
+	Rejected        int           // instances denied for lack of capacity
+	Transitions     int           // machine-state changes observed
+	MachineFailures int           // injected machine failures
+	FailedInstances int           // instances displaced by machine failures
+	Rescheduled     int           // displaced instances placed on survivors
+	SimulatedSpan   time.Duration // trace length
 }
 
 // Run simulates the datacenter and returns its scenario population.
@@ -187,6 +202,9 @@ func (st Stats) record(cfg Config, scenarios int) {
 	count("flare_dcsim_evictions_total", "instances removed by scale-downs", st.Evicted)
 	count("flare_dcsim_rejections_total", "placements denied for lack of capacity", st.Rejected)
 	count("flare_dcsim_transitions_total", "machine-state changes observed", st.Transitions)
+	count("flare_dcsim_machine_failures_total", "injected machine failures", st.MachineFailures)
+	count("flare_dcsim_failed_instances_total", "instances displaced by machine failures", st.FailedInstances)
+	count("flare_dcsim_reschedules_total", "displaced instances placed on surviving machines", st.Rescheduled)
 	reg.Gauge("flare_dcsim_scenarios",
 		"distinct colocation scenarios produced by the last simulation run",
 		"policy", policy.String()).Set(float64(scenarios))
@@ -283,6 +301,9 @@ func (s *sim) run() {
 		}
 		s.now = e.at
 		s.handleResize(e)
+		if f := s.cfg.Faults.Hit("dcsim.machine.fail"); f.Fired() {
+			s.failMachine(int(f.Roll % uint64(len(s.machines))))
+		}
 		s.push(event{at: e.at + s.nextGap(), job: e.job})
 	}
 	s.stats.SimulatedSpan = s.cfg.Duration
@@ -369,11 +390,15 @@ func (s *sim) scaleDown(job string, count int) {
 // pickMachine returns the target machine for one instance under the
 // configured policy, or -1 when the rack is full. Ties break to the
 // lowest index for determinism.
-func (s *sim) pickMachine() int {
+func (s *sim) pickMachine() int { return s.pickMachineExcluding(-1) }
+
+// pickMachineExcluding is pickMachine with one machine barred from
+// placement (the failed machine during reschedules); -1 bars nothing.
+func (s *sim) pickMachineExcluding(exclude int) int {
 	switch s.cfg.Scheduler {
 	case PolicyFirstFit:
 		for i := range s.machines {
-			if s.vcpuCap-s.machines[i].usedVCPUs >= workload.InstanceVCPUs {
+			if i != exclude && s.vcpuCap-s.machines[i].usedVCPUs >= workload.InstanceVCPUs {
 				return i
 			}
 		}
@@ -381,7 +406,7 @@ func (s *sim) pickMachine() int {
 	case PolicyRandom:
 		var candidates []int
 		for i := range s.machines {
-			if s.vcpuCap-s.machines[i].usedVCPUs >= workload.InstanceVCPUs {
+			if i != exclude && s.vcpuCap-s.machines[i].usedVCPUs >= workload.InstanceVCPUs {
 				candidates = append(candidates, i)
 			}
 		}
@@ -393,11 +418,48 @@ func (s *sim) pickMachine() int {
 		best, bestFree := -1, -1
 		for i := range s.machines {
 			free := s.vcpuCap - s.machines[i].usedVCPUs
-			if free >= workload.InstanceVCPUs && free > bestFree {
+			if i != exclude && free >= workload.InstanceVCPUs && free > bestFree {
 				best, bestFree = i, free
 			}
 		}
 		return best
+	}
+}
+
+// failMachine simulates an abrupt machine loss: everything on the victim
+// is evicted at once and the displaced instances are rescheduled across
+// the surviving machines under the configured policy. The victim rejoins
+// the rack empty. Jobs are processed in sorted-name order so the
+// reschedule sequence (and hence the trace) is deterministic.
+func (s *sim) failMachine(victim int) {
+	s.stats.MachineFailures++
+	st := &s.machines[victim]
+	jobs := make([]string, 0, len(st.jobs))
+	for job := range st.jobs {
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	counts := make([]int, len(jobs))
+	for i, job := range jobs {
+		counts[i] = st.jobs[job]
+		delete(st.jobs, job)
+		st.usedVCPUs -= counts[i] * workload.InstanceVCPUs
+		s.stats.FailedInstances += counts[i]
+		s.recordN(victim, job, clustertrace.Evict, counts[i])
+	}
+	for i, job := range jobs {
+		for k := 0; k < counts[i]; k++ {
+			m := s.pickMachineExcluding(victim)
+			if m < 0 {
+				s.stats.Rejected++
+				continue
+			}
+			s.machines[m].jobs[job]++
+			s.machines[m].usedVCPUs += workload.InstanceVCPUs
+			s.stats.Rescheduled++
+			s.record(m, job, clustertrace.Schedule)
+			s.observe(m)
+		}
 	}
 }
 
@@ -416,8 +478,15 @@ func (s *sim) mostLoadedHosting(job string) int {
 	return best
 }
 
-// record appends a task event when event recording is enabled.
+// record appends a single-instance task event when event recording is
+// enabled.
 func (s *sim) record(m int, job string, typ clustertrace.EventType) {
+	s.recordN(m, job, typ, 1)
+}
+
+// recordN appends a task event covering n instances when event recording
+// is enabled.
+func (s *sim) recordN(m int, job string, typ clustertrace.EventType, n int) {
 	if !s.cfg.RecordEvents {
 		return
 	}
@@ -426,7 +495,7 @@ func (s *sim) record(m int, job string, typ clustertrace.EventType) {
 		Machine:     m,
 		Job:         job,
 		Type:        typ,
-		Count:       1,
+		Count:       n,
 	})
 }
 

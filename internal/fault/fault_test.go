@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flare/internal/obs"
+)
+
+func newTest(t *testing.T, spec string, seed int64) *Injector {
+	t.Helper()
+	in, err := New(MustParseSpec(spec), seed, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec(
+		"store.wal.append=error@0.25; store.flush.publish=crash#2, db=latency@1:15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: "store.wal.append", Kind: KindError, Rate: 0.25},
+		{Site: "store.flush.publish", Kind: KindCrash, Nth: 2},
+		{Site: "db", Kind: KindLatency, Rate: 1, Latency: 15 * time.Millisecond},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	rules, err := ParseSpec("  ")
+	if err != nil || len(rules) != 0 {
+		t.Fatalf("empty spec = %v, %v; want no rules, nil error", rules, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"site=error",          // no trigger
+		"site=explode@0.5",    // unknown kind
+		"site=error@1.5",      // rate out of range
+		"site=error@0",        // fires never
+		"site=crash#0",        // zero call number
+		"site=latency@0.5",    // latency without duration
+		"site=latency@0.5:xx", // bad duration
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q parsed without error", spec)
+		}
+	}
+}
+
+// TestDeterministicSchedule is the core guarantee: same rules + seed =>
+// byte-identical schedule, regardless of unrelated sites interleaving.
+func TestDeterministicSchedule(t *testing.T) {
+	spec := "a=error@0.3; b=error@0.5; c=crash#3"
+	run := func(interleave bool) string {
+		in := newTest(t, spec, 42)
+		for i := 0; i < 50; i++ {
+			in.Hit("a")
+			if interleave {
+				in.Hit("unrelated") // no rules: must not consume randomness
+			}
+			in.Hit("b")
+			in.Hit("c")
+		}
+		return in.ScheduleString()
+	}
+	first := run(false)
+	if first == "" {
+		t.Fatal("no faults fired at these rates; schedule empty")
+	}
+	if second := run(false); second != first {
+		t.Errorf("re-run schedule differs:\n%s\nvs\n%s", first, second)
+	}
+	if inter := run(true); inter != first {
+		t.Errorf("interleaved schedule differs:\n%s\nvs\n%s", first, inter)
+	}
+	if !strings.Contains(first, "c#3 crash") {
+		t.Errorf("schedule missing deterministic crash at call 3:\n%s", first)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	run := func(seed int64) string {
+		in := newTest(t, "a=error@0.5", seed)
+		for i := 0; i < 64; i++ {
+			in.Hit("a")
+		}
+		return in.ScheduleString()
+	}
+	if run(1) == run(2) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestErrKinds(t *testing.T) {
+	in := newTest(t, "e=error#1; c=crash#1; l=latency#1:1ms", 1)
+	if err := in.Err("e"); !errors.Is(err, ErrInjected) {
+		t.Errorf("error site returned %v, want ErrInjected", err)
+	}
+	if err := in.Err("c"); !errors.Is(err, ErrCrash) {
+		t.Errorf("crash site returned %v, want ErrCrash", err)
+	}
+	start := time.Now()
+	if err := in.Err("l"); err != nil {
+		t.Errorf("latency site returned %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Errorf("latency site blocked %s, want >= 1ms", elapsed)
+	}
+	// All rules were #1, so second calls are clean.
+	for _, site := range []string{"e", "c", "l"} {
+		if err := in.Err(site); err != nil {
+			t.Errorf("site %s call 2 = %v, want nil", site, err)
+		}
+	}
+	if got := in.Injected(); got != 3 {
+		t.Errorf("Injected = %d, want 3", got)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if f := in.Hit("x"); f.Fired() {
+		t.Error("nil injector fired")
+	}
+	if err := in.Err("x"); err != nil {
+		t.Errorf("nil injector Err = %v", err)
+	}
+	if in.Schedule() != nil || in.ScheduleString() != "" || in.Injected() != 0 {
+		t.Error("nil injector has a schedule")
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	in, err := New(MustParseSpec("a=error#1"), 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Hit("a")
+	got := reg.Counter("flare_fault_injected_total", "",
+		"site", "a", "kind", "error").Value()
+	if got != 1 {
+		t.Errorf("flare_fault_injected_total = %d, want 1", got)
+	}
+}
+
+// TestConcurrentHits exercises the injector under the race detector and
+// checks per-site call accounting stays exact.
+func TestConcurrentHits(t *testing.T) {
+	in := newTest(t, "a=error@0.5", 7)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Hit("a")
+			}
+		}()
+	}
+	wg.Wait()
+	sched := in.Schedule()
+	if len(sched) == 0 {
+		t.Fatal("no faults under concurrency")
+	}
+	for _, e := range sched {
+		if e.Call == 0 || e.Call > 800 {
+			t.Errorf("event has impossible call number %d", e.Call)
+		}
+	}
+}
+
+func TestRollIsDeterministic(t *testing.T) {
+	roll := func() uint64 {
+		in := newTest(t, "a=error#1", 99)
+		return in.Hit("a").Roll
+	}
+	if roll() != roll() {
+		t.Error("Roll differs across identical runs")
+	}
+}

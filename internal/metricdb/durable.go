@@ -15,11 +15,14 @@ package metricdb
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
+	"flare/internal/retry"
 	"flare/internal/store"
 )
 
@@ -61,18 +64,45 @@ type schemaRecord struct {
 // StoreBackend journals metricdb mutations into an embedded store. Every
 // Insert is a durable WAL append (group-committed with concurrent
 // writers) — the profiler's samples stream to disk as they are recorded
-// instead of relying on an end-of-run dump.
+// instead of relying on an end-of-run dump. Transient append failures
+// (an injected or real blip on the disk path) are retried with capped
+// exponential backoff before the error reaches the caller, so a brief
+// store hiccup does not abort a multi-minute profiling run.
 type StoreBackend struct {
 	st *store.Store
+
+	// Retry is the journal append's retry policy. Replace it (before the
+	// first use) to tune the profiler->store path; the zero adjustments
+	// in defaultJournalRetry suit the embedded engine's latencies.
+	Retry retry.Policy
 
 	mu      sync.Mutex
 	nextSeq map[string]uint64
 }
 
+// defaultJournalRetry tunes the retry layer for the local journal path:
+// a handful of quick attempts — either the disk blip clears in tens of
+// milliseconds or the store is down and the caller should know.
+func defaultJournalRetry() retry.Policy {
+	return retry.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Name:        "metricdb.journal",
+	}
+}
+
 // NewStoreBackend wraps an open store. Use OpenDB instead when the store
 // may already hold journaled tables.
 func NewStoreBackend(st *store.Store) *StoreBackend {
-	return &StoreBackend{st: st, nextSeq: make(map[string]uint64)}
+	return &StoreBackend{st: st, Retry: defaultJournalRetry(), nextSeq: make(map[string]uint64)}
+}
+
+// append journals one durable record through the retry policy.
+func (b *StoreBackend) append(key, val []byte) error {
+	return b.Retry.Do(context.Background(), func() error {
+		return b.st.Append(key, val)
+	})
 }
 
 // CreateTable journals a schema record.
@@ -82,7 +112,7 @@ func (b *StoreBackend) CreateTable(name string, columns []Column) error {
 		return err
 	}
 	key := append([]byte(schemaKeyPrefix), name...)
-	return b.st.Append(key, val)
+	return b.append(key, val)
 }
 
 // Insert journals one row under the table's next sequence number.
@@ -95,7 +125,7 @@ func (b *StoreBackend) Insert(table string, r Row) error {
 	seq := b.nextSeq[table]
 	b.nextSeq[table] = seq + 1
 	b.mu.Unlock()
-	return b.st.Append(rowKey(table, seq), val)
+	return b.append(rowKey(table, seq), val)
 }
 
 // Store returns the underlying engine (for stats and lifecycle).
@@ -172,7 +202,7 @@ func OpenDB(st *store.Store) (*DB, error) {
 	}
 
 	// Now attach the backend, seeded past the recovered sequence numbers.
-	backend := &StoreBackend{st: st, nextSeq: nextSeq}
+	backend := &StoreBackend{st: st, Retry: defaultJournalRetry(), nextSeq: nextSeq}
 	db.backend = backend
 	db.mu.Lock()
 	for _, t := range db.tables {

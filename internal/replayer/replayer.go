@@ -16,9 +16,12 @@ import (
 	"math/rand"
 
 	"flare/internal/analyzer"
+	"flare/internal/fault"
 	"flare/internal/machine"
 	"flare/internal/obs"
 	"flare/internal/perfscore"
+	"flare/internal/retry"
+	"flare/internal/scenario"
 	"flare/internal/workload"
 )
 
@@ -30,6 +33,53 @@ type Options struct {
 	Samples int
 	// Seed makes replays reproducible.
 	Seed int64
+
+	// Injector optionally injects faults at the "replay.scenario" site:
+	// a real testbed replay can fail transiently (a load generator hiccup,
+	// a lost measurement window) and the replayer retries it. The site is
+	// evaluated *before* the scenario model consumes any replay
+	// randomness, so a retried measurement is byte-identical to the one a
+	// fault-free run would have produced. Nil injects nothing.
+	Injector *fault.Injector
+	// Retry is the per-scenario retry policy; the zero value uses
+	// retry's defaults with the op name "replay.scenario". Real
+	// evaluation errors are permanent (a malformed scenario will not heal
+	// by retrying) — only injected transients are retried.
+	Retry retry.Policy
+}
+
+// retryPolicy names the zero-valued policy after the replay site.
+func (o Options) retryPolicy() retry.Policy {
+	p := o.Retry
+	if p.Name == "" {
+		p.Name = "replay.scenario"
+	}
+	return p
+}
+
+// replayScenario measures one scenario through the fault site and retry
+// policy. Faults are evaluated before EvaluateScenario so failed
+// attempts never consume replay randomness.
+func replayScenario(ctx context.Context, base machine.Config, feat machine.Feature,
+	sc scenario.Scenario, cat *workload.Catalog, inh *perfscore.Inherent,
+	rng *rand.Rand, opts Options) (perfscore.Impact, error) {
+	var imp perfscore.Impact
+	err := opts.retryPolicy().Do(ctx, func() error {
+		if err := opts.Injector.Err("replay.scenario"); err != nil {
+			return err
+		}
+		res, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
+			NoiseStd: opts.ReconstructionNoiseStd,
+			Samples:  opts.Samples,
+			Rand:     rng,
+		})
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		imp = res
+		return nil
+	})
+	return imp, err
 }
 
 // DefaultOptions returns replay settings with a realistic reconstruction
@@ -90,14 +140,10 @@ func EstimateAllJobContext(ctx context.Context, an *analyzer.Analysis, cat *work
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
-		_, rspan := obs.StartSpan(ctx, "replay.scenario")
+		rctx, rspan := obs.StartSpan(ctx, "replay.scenario")
 		rspan.SetAttr("cluster", rep.Cluster)
 		rspan.SetAttr("scenario_id", rep.ScenarioID)
-		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
-			NoiseStd: opts.ReconstructionNoiseStd,
-			Samples:  opts.Samples,
-			Rand:     rng,
-		})
+		imp, err := replayScenario(rctx, base, feat, sc, cat, inh, rng, opts)
 		rspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
@@ -196,14 +242,10 @@ func EstimatePerJobContext(ctx context.Context, an *analyzer.Analysis, cat *work
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)
 		}
-		_, rspan := obs.StartSpan(ctx, "replay.scenario")
+		rctx, rspan := obs.StartSpan(ctx, "replay.scenario")
 		rspan.SetAttr("cluster", rep.Cluster)
 		rspan.SetAttr("scenario_id", chosen)
-		imp, err := perfscore.EvaluateScenario(base, feat, sc, cat, inh, perfscore.Options{
-			NoiseStd: opts.ReconstructionNoiseStd,
-			Samples:  opts.Samples,
-			Rand:     rng,
-		})
+		imp, err := replayScenario(rctx, base, feat, sc, cat, inh, rng, opts)
 		rspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("replayer: %w", err)

@@ -1,0 +1,216 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"flare/internal/obs"
+)
+
+// testPolicy retries fast with a captured delay log.
+func testPolicy(delays *[]time.Duration) Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Registry:    obs.NewRegistry(),
+		Sleep: func(d time.Duration) {
+			if delays != nil {
+				*delays = append(*delays, d)
+			}
+		},
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	calls := 0
+	err := testPolicy(nil).Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := testPolicy(nil).Do(context.Background(), func() error {
+		calls++
+		return boom
+	})
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("Do = %v, want wrapped boom", err)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	boom := errors.New("bad request")
+	err := testPolicy(nil).Do(context.Background(), func() error {
+		calls++
+		return Permanent(boom)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, boom) || IsPermanent(err) {
+		// Do unwraps the permanent marker before returning.
+		t.Errorf("Do = %v (permanent=%v), want bare boom", err, IsPermanent(err))
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestDoRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := testPolicy(nil)
+	p.Sleep = nil // use the real ctx-aware sleep
+	p.BaseDelay = time.Hour
+	err := p.Do(ctx, func() error {
+		calls++
+		cancel() // cancel during the first backoff
+		return errors.New("transient")
+	})
+	if calls != 1 || !errors.Is(err, context.Canceled) {
+		t.Errorf("Do = %v after %d calls, want context.Canceled after 1", err, calls)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	p.MaxAttempts = 5
+	p.JitterFrac = -1 // disable jitter: exact delays
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	want := []time.Duration{10, 20, 40, 80} // ms; capped at MaxDelay
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want 4 entries", delays)
+	}
+	for i, d := range delays {
+		if d != want[i]*time.Millisecond {
+			t.Errorf("delay %d = %s, want %dms", i, d, want[i])
+		}
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var delays []time.Duration
+		p := testPolicy(&delays)
+		p.Seed = 7
+		_ = p.Do(context.Background(), func() error { return errors.New("x") })
+		return delays
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("jittered delays differ across identical runs: %v vs %v", a, b)
+	}
+}
+
+func TestRetryMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Policy{MaxAttempts: 3, Registry: reg, Name: "journal",
+		Sleep: func(time.Duration) {}}
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	if got := reg.Counter("flare_retry_attempts_total", "", "op", "journal").Value(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("flare_retry_giveups_total", "", "op", "journal").Value(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+}
+
+// fakeClock is a manually advanced breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clock *fakeClock) *Breaker {
+	return NewBreaker("test", BreakerOptions{
+		Threshold: 3,
+		Cooldown:  time.Second,
+		Now:       clock.now,
+		Registry:  obs.NewRegistry(),
+	})
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clock)
+	boom := errors.New("down")
+
+	// Below threshold: stays closed.
+	b.Record(boom)
+	b.Record(boom)
+	if b.State() != Closed || b.Allow() != nil {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	// A success clears the run.
+	b.Record(nil)
+	b.Record(boom)
+	b.Record(boom)
+	if b.State() != Closed {
+		t.Fatal("failure run not reset by success")
+	}
+	// Third consecutive failure trips it.
+	b.Record(boom)
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+
+	// Cooldown elapses: one probe admitted, concurrent calls rejected.
+	clock.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after cooldown: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	// Probe fails: straight back to open.
+	b.Record(boom)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Next probe succeeds: closed again.
+	clock.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted after second cooldown: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed || b.Allow() != nil {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerTripMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker("m", BreakerOptions{Threshold: 1, Registry: reg})
+	b.Record(errors.New("x"))
+	if got := reg.Counter("flare_breaker_trips_total", "", "breaker", "m").Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+	if got := reg.Gauge("flare_breaker_state", "", "breaker", "m").Value(); got != float64(Open) {
+		t.Errorf("state gauge = %v, want %v", got, float64(Open))
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"flare/internal/core"
 	"flare/internal/machine"
@@ -53,8 +54,12 @@ type Server struct {
 	// request from the telemetry middleware.
 	Logger *log.Logger
 
-	mu    sync.Mutex
-	cache map[string]*estimateEntry
+	opts Options       // resilience settings; see SetResilience
+	sem  chan struct{} // concurrency limiter; nil = unlimited
+
+	mu       sync.Mutex
+	cache    map[string]*estimateEntry
+	lastGood map[string]estimateResponse // per key, last journaled estimate
 }
 
 // New creates a server over a pipeline that has completed Profile and
@@ -85,6 +90,7 @@ func NewWithTelemetry(p *core.Pipeline, features []machine.Feature,
 		reg:      reg,
 		tracer:   tracer,
 		cache:    make(map[string]*estimateEntry),
+		lastGood: make(map[string]estimateResponse),
 	}
 	for _, f := range features {
 		if _, dup := s.features[f.Name]; dup {
@@ -92,6 +98,7 @@ func NewWithTelemetry(p *core.Pipeline, features []machine.Feature,
 		}
 		s.features[f.Name] = f
 	}
+	s.SetResilience(Options{})
 	return s, nil
 }
 
@@ -102,23 +109,29 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Handler returns the server's routing mux. Every route, including the
-// pprof surface, runs behind the telemetry middleware.
+// pprof surface, runs behind the telemetry middleware; /api routes
+// additionally run behind the concurrency limiter (when configured),
+// while /healthz and /metrics stay exempt so probes and scrapes always
+// get through during overload.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, h))
 	}
+	api := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, s.limit(pattern, h)))
+	}
 	route("/healthz", s.handleHealth)
-	route("/api/summary", s.handleSummary)
-	route("/api/representatives", s.handleRepresentatives)
-	route("/api/pcs", s.handlePCs)
-	route("/api/scenarios", s.handleScenarios)
-	route("/api/estimate", s.handleEstimate)
-	route("/api/plan", s.handlePlan)
-	route("/api/db/tables", s.handleDBTables)
-	route("/api/db/query", s.handleDBQuery)
+	api("/api/summary", s.handleSummary)
+	api("/api/representatives", s.handleRepresentatives)
+	api("/api/pcs", s.handlePCs)
+	api("/api/scenarios", s.handleScenarios)
+	api("/api/estimate", s.handleEstimate)
+	api("/api/plan", s.handlePlan)
+	api("/api/db/tables", s.handleDBTables)
+	api("/api/db/query", s.handleDBQuery)
 	route("/metrics", s.handleMetrics)
-	route("/api/trace", s.handleTrace)
+	api("/api/trace", s.handleTrace)
 	route("/debug/pprof/", pprof.Index)
 	route("/debug/pprof/cmdline", pprof.Cmdline)
 	route("/debug/pprof/profile", pprof.Profile)
@@ -318,28 +331,48 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// estimateResponse is a feature-impact estimate.
+// estimateResponse is a feature-impact estimate. Degraded marks a
+// response served from the last successfully journaled estimate because
+// the store is currently unhealthy.
 type estimateResponse struct {
 	Feature           string  `json:"feature"`
 	Description       string  `json:"description"`
 	Job               string  `json:"job,omitempty"`
 	ReductionPct      float64 `json:"mips_reduction_pct"`
 	ScenariosReplayed int     `json:"scenarios_replayed"`
+	Degraded          bool    `json:"degraded,omitempty"`
 }
 
 // estimateEntry is one singleflight cache slot. The first request for a
-// key computes inside the sync.Once while later requests for the same key
-// block only on that Once — requests for *different* keys never contend,
-// unlike the previous design that held one server-wide mutex across the
-// whole replay computation.
+// key creates the entry and spawns the computation; every request for
+// the key (including the creator) then waits on done — with a deadline
+// when Options.RequestTimeout is set, so a wedged computation turns into
+// a bounded 503 instead of an unbounded hang. Requests for *different*
+// keys never contend.
 type estimateEntry struct {
-	once   sync.Once
-	resp   estimateResponse
-	status int    // non-200 when the computation failed
-	errMsg string // set when the computation failed
+	done       chan struct{} // closed when compute finishes
+	computedAt time.Time     // staleness reference for EstimateRefresh
+	resp       estimateResponse
+	status     int    // non-200 when the computation failed
+	errMsg     string // set when the computation failed
+	evict      bool   // entry must not stay cached (failure or degraded)
+	retryAfter bool   // stamp Retry-After on the error response
 }
 
-func (e *estimateEntry) compute(s *Server, feat machine.Feature, job string) {
+// compute runs the estimate, journals it, and resolves the entry. It
+// runs once per entry in its own goroutine; the entry is evicted here
+// (not by waiters) so cleanup happens even when every waiter times out.
+func (e *estimateEntry) compute(s *Server, feat machine.Feature, job, key string) {
+	defer close(e.done)
+	defer func() {
+		if e.evict {
+			s.mu.Lock()
+			if s.cache[key] == e {
+				delete(s.cache, key)
+			}
+			s.mu.Unlock()
+		}
+	}()
 	ctx := obs.WithTracer(context.Background(), s.tracer)
 	ctx, span := obs.StartSpan(ctx, "server.estimate")
 	defer span.End()
@@ -350,9 +383,25 @@ func (e *estimateEntry) compute(s *Server, feat machine.Feature, job string) {
 
 	e.status = http.StatusOK
 	e.resp = estimateResponse{Feature: feat.Name, Description: feat.Description, Job: job}
+
+	// The store's health gates fresh estimates: while the breaker is open
+	// the journal is known-bad, so skip straight to degraded service.
+	if err := s.opts.Breaker.Allow(); err != nil {
+		s.degrade(e, key, "store circuit open")
+		return
+	}
+	// Injected faults on the estimate path itself (latency faults here
+	// exercise RequestTimeout).
+	if err := s.opts.Injector.Err("server.estimate"); err != nil {
+		e.evict = true
+		e.status = http.StatusInternalServerError
+		e.errMsg = fmt.Sprintf("estimation failed: %v", err)
+		return
+	}
 	if job == "" {
 		est, err := s.pipeline.EvaluateFeatureContext(ctx, feat)
 		if err != nil {
+			e.evict = true
 			e.status = http.StatusInternalServerError
 			e.errMsg = fmt.Sprintf("estimation failed: %v", err)
 			return
@@ -362,12 +411,37 @@ func (e *estimateEntry) compute(s *Server, feat machine.Feature, job string) {
 	} else {
 		est, err := s.pipeline.EvaluateFeatureForJobContext(ctx, feat, job)
 		if err != nil {
+			e.evict = true
 			e.status = http.StatusBadRequest
 			e.errMsg = fmt.Sprintf("estimation failed: %v", err)
 			return
 		}
 		e.resp.ReductionPct = est.ReductionPct
 		e.resp.ScenariosReplayed = est.ScenariosReplayed
+	}
+
+	// Journal the estimate; persistence failures feed the breaker and
+	// degrade the response rather than erroring — an estimate the server
+	// cannot audit is served from last-known-good instead.
+	perr := s.persistEstimate(e.resp)
+	s.opts.Breaker.Record(perr)
+	if perr != nil {
+		s.degrade(e, key, "journaling estimate failed")
+		return
+	}
+	e.computedAt = time.Now()
+	s.mu.Lock()
+	s.lastGood[key] = e.resp
+	s.mu.Unlock()
+}
+
+// finished reports whether the entry's computation has resolved.
+func (e *estimateEntry) finished() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -390,30 +464,49 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	key := featName + "|" + job
 	s.mu.Lock()
 	entry, hit := s.cache[key]
-	if !hit {
-		entry = &estimateEntry{}
-		s.cache[key] = entry
-	}
-	s.mu.Unlock()
 	result := "miss"
-	if hit {
+	switch {
+	case hit && s.opts.EstimateRefresh > 0 && entry.finished() &&
+		time.Since(entry.computedAt) > s.opts.EstimateRefresh:
+		// Stale: recompute. Unfinished entries are never stale — joining
+		// the in-flight computation is always right.
+		hit = false
+		result = "stale"
+	case hit:
 		result = "hit"
 	}
+	if !hit {
+		entry = &estimateEntry{done: make(chan struct{})}
+		s.cache[key] = entry
+		go entry.compute(s, feat, job, key)
+	}
+	s.mu.Unlock()
 	s.reg.Counter("flare_estimate_cache_total",
 		"estimate cache lookups (a hit may still wait on an in-flight computation)",
 		"result", result).Inc()
 
-	entry.once.Do(func() { entry.compute(s, feat, job) })
+	if s.opts.RequestTimeout > 0 {
+		timer := time.NewTimer(s.opts.RequestTimeout)
+		defer timer.Stop()
+		select {
+		case <-entry.done:
+		case <-timer.C:
+			s.reg.Counter("flare_request_timeouts_total",
+				"estimate requests that hit RequestTimeout while waiting",
+				"route", "/api/estimate").Inc()
+			retryAfterHeader(w, s.opts.RequestTimeout)
+			writeError(w, http.StatusServiceUnavailable,
+				"estimate still computing after %s; retry later", s.opts.RequestTimeout)
+			return
+		}
+	} else {
+		<-entry.done
+	}
 
 	if entry.errMsg != "" {
-		// Failed computations are not cached: evict the entry (only if it
-		// is still the one we joined — a fresh retry may have replaced it)
-		// so a later request can retry.
-		s.mu.Lock()
-		if s.cache[key] == entry {
-			delete(s.cache, key)
+		if entry.retryAfter {
+			retryAfterHeader(w, time.Second)
 		}
-		s.mu.Unlock()
 		writeError(w, entry.status, "%s", entry.errMsg)
 		return
 	}

@@ -17,37 +17,56 @@ import (
 )
 
 var (
+	pipeOnce sync.Once
+	pipeVal  *core.Pipeline
+	pipeErr  error
+
 	srvOnce sync.Once
 	srvVal  *Server
 	srvErr  error
 )
 
-func testServer(t *testing.T) *Server {
+// testPipeline builds the analysed pipeline fixture shared by every
+// server test (it is expensive; resilience tests wrap fresh Servers
+// around it instead of rebuilding).
+func testPipeline(t *testing.T) *core.Pipeline {
 	t.Helper()
-	srvOnce.Do(func() {
+	pipeOnce.Do(func() {
 		simCfg := dcsim.DefaultConfig()
 		simCfg.Duration = 7 * 24 * time.Hour
 		simCfg.ResizesPerJobPerDay = 4
 		trace, err := dcsim.Run(simCfg)
 		if err != nil {
-			srvErr = err
+			pipeErr = err
 			return
 		}
 		cfg := core.DefaultConfig()
 		cfg.Analyze.Clusters = 10
 		p, err := core.New(cfg)
 		if err != nil {
-			srvErr = err
+			pipeErr = err
 			return
 		}
 		if err := p.Profile(trace.Scenarios); err != nil {
-			srvErr = err
+			pipeErr = err
 			return
 		}
 		if err := p.Analyze(); err != nil {
-			srvErr = err
+			pipeErr = err
 			return
 		}
+		pipeVal = p
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipeVal
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	p := testPipeline(t)
+	srvOnce.Do(func() {
 		srvVal, srvErr = New(p, machine.PaperFeatures())
 	})
 	if srvErr != nil {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flare/internal/fault"
 	"flare/internal/obs"
 )
 
@@ -31,6 +32,14 @@ type Options struct {
 	// Registry receives the flare_store_* telemetry; nil means the
 	// process-default registry.
 	Registry *obs.Registry
+	// Injector, when non-nil, arms deterministic fault injection on the
+	// store's durability paths. Sites: "store.wal.append" (appends fail
+	// or slow down before reaching the log), "store.flush.segment"
+	// (segment write fails cleanly), "store.flush.publish" (crash point
+	// between the segment write and the manifest publish — the orphan-
+	// segment window), and "store.compact.write" (background compaction
+	// fails). See internal/fault.
+	Injector *fault.Injector
 }
 
 // DefaultOptions returns durable defaults.
@@ -45,6 +54,10 @@ type Store struct {
 	dir  string
 	opts Options
 	met  *storeMetrics
+
+	// inj is swappable at runtime (SetInjector) so tests and operators
+	// can start an outage against an already-open store.
+	inj atomic.Pointer[fault.Injector]
 
 	// rot serialises WAL rotation with appends: every Append holds it for
 	// read across (WAL append, memtable insert), so Flush — holding it for
@@ -87,6 +100,7 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	s := &Store{dir: dir, opts: opts, met: met, man: man,
 		nextSeg: man.NextSegID, mem: make(map[string][]byte)}
+	s.inj.Store(opts.Injector)
 	for _, id := range man.Segments {
 		seg, err := openSegment(dir, id)
 		if err != nil {
@@ -178,6 +192,15 @@ func (s *Store) memInsert(key, value []byte) {
 	s.memBytes += len(k) + len(value)
 }
 
+// SetInjector replaces the store's fault injector (nil disables
+// injection). Safe to call while the store is serving; in-flight
+// operations may still observe the previous injector.
+func (s *Store) SetInjector(in *fault.Injector) { s.inj.Store(in) }
+
+// injector returns the current fault injector (possibly nil; all
+// injector methods are nil-safe).
+func (s *Store) injector() *fault.Injector { return s.inj.Load() }
+
 // Append durably writes one key/value pair: the record is on disk (in the
 // WAL) before Append returns. Concurrent appenders share fsyncs via group
 // commit. An empty key is invalid; a repeated key overwrites (last write
@@ -185,6 +208,11 @@ func (s *Store) memInsert(key, value []byte) {
 func (s *Store) Append(key, value []byte) error {
 	if len(key) == 0 {
 		return errors.New("store: empty key")
+	}
+	// Fault site: a failed or slow disk write, surfaced before any lock
+	// is held so injected latency does not serialise healthy appenders.
+	if err := s.injector().Err("store.wal.append"); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if len(key)+len(value)+frameHeaderSize > maxFrameSize {
 		return fmt.Errorf("store: record for key %q exceeds %d bytes", key, maxFrameSize)
@@ -255,12 +283,25 @@ func (s *Store) flushLocked() error {
 	newGen := s.man.WALGen + 1
 	s.mu.Unlock()
 
+	// Fault site: the segment write fails before any bytes are
+	// published; the memtable and WAL are untouched, so the flush can
+	// simply be retried.
+	if err := s.injector().Err("store.flush.segment"); err != nil {
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
 	if _, err := writeSegment(s.dir, segID, entries); err != nil {
 		return err
 	}
 	seg, err := openSegment(s.dir, segID)
 	if err != nil {
 		return err
+	}
+	// Crash point: the segment file is durably on disk but the manifest
+	// does not name it yet. Aborting here — deliberately with NO cleanup
+	// — leaves exactly the orphan a real crash would: recovery must keep
+	// serving from the WAL and delete the unpublished segment.
+	if err := s.injector().Err("store.flush.publish"); err != nil {
+		return fmt.Errorf("store: publishing flush: %w", err)
 	}
 
 	// New WAL generation first: the manifest must never point at a WAL
@@ -351,6 +392,12 @@ func (s *Store) compact(merge []*segment) {
 	segID := s.nextSeg
 	s.nextSeg++
 	s.mu.Unlock()
+	// Fault site: background compaction failure. The store keeps serving
+	// from the unmerged segments; the error is sticky via Err/Close.
+	if err := s.injector().Err("store.compact.write"); err != nil {
+		s.setBgErr(fmt.Errorf("store: compaction: %w", err))
+		return
+	}
 	if _, err := writeSegment(s.dir, segID, merged); err != nil {
 		s.setBgErr(err)
 		return
