@@ -11,18 +11,25 @@ GO ?= go
 # a PR pass.
 COVERAGE_FLOOR = 70
 
-.PHONY: all check vet lint build test race coverage bench bench-stages fmt clean
+# Exact third-party analyzer versions. CI installs these via
+# `make lint-tools`; pinning keeps lint results reproducible instead of
+# drifting with whatever @latest resolves to on a given day.
+STATICCHECK_VERSION = 2025.1.1
+GOVULNCHECK_VERSION = v1.1.4
+
+.PHONY: all check vet lint lint-tools flarelint fix build test race coverage bench bench-stages fmt clean
 
 all: check
 
-check: vet lint build test
+check: vet lint flarelint build test
 
 vet:
 	$(GO) vet ./...
 
 # Format + static analysis gate. staticcheck and govulncheck run when
-# installed (CI installs them; local sandboxes without them still get the
-# gofmt check instead of a hard failure).
+# installed (CI installs the pinned versions via lint-tools; local
+# sandboxes without them still get the gofmt check instead of a hard
+# failure).
 lint:
 	@out=$$(gofmt -l $$(git ls-files '*.go')); \
 	if [ -n "$$out" ]; then echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
@@ -30,6 +37,32 @@ lint:
 	else echo "lint: staticcheck not installed; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed; skipping"; fi
+
+# Install the pinned third-party analyzers (network required; CI only).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# FLARE's own invariant analyzers (internal/lint, stdlib-only): detrand,
+# maporder, metricname, spanend, syncerr. Builds from tools/flarelint's
+# module so the main module keeps an empty require block. Exits nonzero
+# on any finding; every finding must be fixed, not suppressed (see
+# DESIGN.md "Static analysis & enforced invariants").
+flarelint:
+	cd tools/flarelint && $(GO) build -o ../../bin/flarelint .
+	./bin/flarelint ./...
+
+# Mechanical cleanup pass: gofmt everything, then report remaining vet
+# and flarelint diagnostics (flarelint findings also land in
+# results/flarelint.json for tooling). Fixes formatting automatically;
+# semantic findings still need a human.
+fix:
+	gofmt -w $$(git ls-files '*.go')
+	$(GO) vet ./...
+	cd tools/flarelint && $(GO) build -o ../../bin/flarelint .
+	@mkdir -p results
+	./bin/flarelint -json ./... > results/flarelint.json || \
+	{ echo "fix: flarelint findings remain (see results/flarelint.json)"; exit 1; }
 
 build:
 	$(GO) build ./...

@@ -98,7 +98,6 @@ func run() error {
 	reg := obs.Default()
 	tracer := obs.NewTracer(reg)
 	ctx := obs.WithTracer(context.Background(), tracer)
-	ctx, buildSpan := obs.StartSpan(ctx, "server.build")
 
 	// Open the metric database before the (slow) pipeline build so a bad
 	// -db-dir fails fast. The store must be closed on every exit path;
@@ -124,37 +123,49 @@ func run() error {
 	}
 
 	fmt.Printf("building pipeline (%d-day trace)...\n", *days)
-	simCfg := dcsim.DefaultConfig()
-	simCfg.Seed = *seed
-	simCfg.Duration = time.Duration(*days) * 24 * time.Hour
-	trace, err := dcsim.Run(simCfg)
-	if err != nil {
-		return err
-	}
-	buildSpan.SetAttr("scenarios", trace.Scenarios.Len())
-	cfg := core.DefaultConfig()
-	cfg.Profile.Seed = *seed
-	cfg.Analyze.Seed = *seed
-	cfg.Analyze.Clusters = *clusters
-	p, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
-	if err := p.ProfileContext(ctx, trace.Scenarios); err != nil {
-		return err
-	}
-	if err := p.AnalyzeContext(ctx); err != nil {
-		return err
-	}
+	ctx, buildSpan := obs.StartSpan(ctx, "server.build")
+	var trace *dcsim.Trace
+	var p *core.Pipeline
+	// The build steps run inside a closure so the deferred End closes the
+	// span on every path, including the early error returns — /api/trace
+	// and the build-duration log line both depend on the span finishing.
+	if err := func() error {
+		defer buildSpan.End()
+		simCfg := dcsim.DefaultConfig()
+		simCfg.Seed = *seed
+		simCfg.Duration = time.Duration(*days) * 24 * time.Hour
+		var err error
+		trace, err = dcsim.Run(simCfg)
+		if err != nil {
+			return err
+		}
+		buildSpan.SetAttr("scenarios", trace.Scenarios.Len())
+		cfg := core.DefaultConfig()
+		cfg.Profile.Seed = *seed
+		cfg.Analyze.Seed = *seed
+		cfg.Analyze.Clusters = *clusters
+		p, err = core.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := p.ProfileContext(ctx, trace.Scenarios); err != nil {
+			return err
+		}
+		if err := p.AnalyzeContext(ctx); err != nil {
+			return err
+		}
 
-	// Record the dataset once: a restart against a populated -db-dir
-	// serves the journaled history instead of appending a duplicate run.
-	if profiler.Stored(db) {
-		fmt.Println("metric database already populated; serving recorded history")
-	} else if err := p.PersistDatasetContext(ctx, db); err != nil {
+		// Record the dataset once: a restart against a populated -db-dir
+		// serves the journaled history instead of appending a duplicate run.
+		if profiler.Stored(db) {
+			fmt.Println("metric database already populated; serving recorded history")
+		} else if err := p.PersistDatasetContext(ctx, db); err != nil {
+			return err
+		}
+		return nil
+	}(); err != nil {
 		return err
 	}
-	buildSpan.End()
 
 	srv, err := server.NewWithTelemetry(p, machine.PaperFeatures(), reg, tracer)
 	if err != nil {

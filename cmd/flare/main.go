@@ -106,132 +106,141 @@ func run() error {
 	ctx := obs.WithTracer(context.Background(), tracer)
 	ctx, root := obs.StartSpan(ctx, "flare.run")
 
-	set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed, inj)
-	if err != nil {
-		return err
-	}
-	root.SetAttr("scenarios", set.Len())
-	fmt.Printf("scenario population: %d distinct colocations\n", set.Len())
+	// Every stage below runs inside the root span. The closure's deferred
+	// End guarantees the span closes — and the -trace-out / -v telemetry
+	// below stays usable — even when a stage fails with an early return.
+	if err := func() error {
+		defer root.End()
 
-	cfg := core.DefaultConfig()
-	cfg.Profile.Seed = *seed
-	cfg.Analyze.Seed = *seed
-	cfg.Analyze.Clusters = *clusters
-	cfg.Replay.Seed = *seed
-	cfg.Replay.Injector = inj
-	if *catalogPath != "" {
-		f, err := os.Open(*catalogPath)
+		set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed, inj)
 		if err != nil {
 			return err
 		}
-		cat, err := workload.ReadJSON(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		cfg.Jobs = cat
-		fmt.Printf("loaded %d job profiles from %s\n", cat.Len(), *catalogPath)
-	}
+		root.SetAttr("scenarios", set.Len())
+		fmt.Printf("scenario population: %d distinct colocations\n", set.Len())
 
-	p, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println("profiling every scenario (step 1)...")
-	if err := p.ProfileContext(ctx, set); err != nil {
-		return err
-	}
-	fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
-	if err := p.AnalyzeContext(ctx); err != nil {
-		return err
-	}
-
-	if *dbDir != "" {
-		stOpts := store.DefaultOptions()
-		stOpts.Injector = inj
-		st, err := store.Open(*dbDir, stOpts)
-		if err != nil {
-			return err
-		}
-		db, err := metricdb.OpenDB(st)
-		if err != nil {
-			st.Close()
-			return err
-		}
-		if profiler.Stored(db) {
-			fmt.Printf("metric database %s already holds a dataset; not re-recording\n", *dbDir)
-			if err := st.Close(); err != nil {
+		cfg := core.DefaultConfig()
+		cfg.Profile.Seed = *seed
+		cfg.Analyze.Seed = *seed
+		cfg.Analyze.Clusters = *clusters
+		cfg.Replay.Seed = *seed
+		cfg.Replay.Injector = inj
+		if *catalogPath != "" {
+			f, err := os.Open(*catalogPath)
+			if err != nil {
 				return err
 			}
-		} else {
-			if err := p.PersistDatasetContext(ctx, db); err != nil {
+			cat, err := workload.ReadJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			cfg.Jobs = cat
+			fmt.Printf("loaded %d job profiles from %s\n", cat.Len(), *catalogPath)
+		}
+
+		p, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("profiling every scenario (step 1)...")
+		if err := p.ProfileContext(ctx, set); err != nil {
+			return err
+		}
+		fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
+		if err := p.AnalyzeContext(ctx); err != nil {
+			return err
+		}
+
+		if *dbDir != "" {
+			stOpts := store.DefaultOptions()
+			stOpts.Injector = inj
+			st, err := store.Open(*dbDir, stOpts)
+			if err != nil {
+				return err
+			}
+			db, err := metricdb.OpenDB(st)
+			if err != nil {
 				st.Close()
 				return err
 			}
-			if err := st.Close(); err != nil {
-				return err
+			if profiler.Stored(db) {
+				fmt.Printf("metric database %s already holds a dataset; not re-recording\n", *dbDir)
+				if err := st.Close(); err != nil {
+					return err
+				}
+			} else {
+				if err := p.PersistDatasetContext(ctx, db); err != nil {
+					st.Close()
+					return err
+				}
+				if err := st.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("recorded profiled dataset in %s\n", *dbDir)
 			}
-			fmt.Printf("recorded profiled dataset in %s\n", *dbDir)
 		}
-	}
 
-	an := p.Analysis()
-	fmt.Printf("  refined metrics: %d of %d raw\n", len(an.RefinedNames), cfg.Metrics.Len())
-	fmt.Printf("  principal components: %d (>= 95%% variance)\n", an.PCA.NumPC)
-	fmt.Printf("  clusters / representatives: %d\n", len(an.Representatives))
+		an := p.Analysis()
+		fmt.Printf("  refined metrics: %d of %d raw\n", len(an.RefinedNames), cfg.Metrics.Len())
+		fmt.Printf("  principal components: %d (>= 95%% variance)\n", an.PCA.NumPC)
+		fmt.Printf("  clusters / representatives: %d\n", len(an.Representatives))
 
-	if *verbose {
-		fmt.Println("\nhigh-level metric interpretations (Fig 8):")
-		for _, lbl := range an.Labels {
-			fmt.Printf("  PC%-2d (%.1f%%): %s\n", lbl.Index, 100*lbl.Explained, lbl.Interpretation)
+		if *verbose {
+			fmt.Println("\nhigh-level metric interpretations (Fig 8):")
+			for _, lbl := range an.Labels {
+				fmt.Printf("  PC%-2d (%.1f%%): %s\n", lbl.Index, 100*lbl.Explained, lbl.Interpretation)
+			}
+			fmt.Println("\nrepresentative scenarios:")
+			for _, rep := range an.Representatives {
+				sc, err := set.Get(rep.ScenarioID)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  cluster %-2d (weight %4.1f%%): %s\n", rep.Cluster, 100*rep.Weight, sc.Key())
+			}
 		}
-		fmt.Println("\nrepresentative scenarios:")
-		for _, rep := range an.Representatives {
-			sc, err := set.Get(rep.ScenarioID)
+
+		if *planOut != "" {
+			plan, err := replayer.NewPlan(an, cfg.Machine.Shape)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("  cluster %-2d (weight %4.1f%%): %s\n", rep.Cluster, 100*rep.Weight, sc.Key())
-		}
-	}
-
-	if *planOut != "" {
-		plan, err := replayer.NewPlan(an, cfg.Machine.Shape)
-		if err != nil {
-			return err
-		}
-		f, err := os.Create(*planOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := plan.WriteJSON(f); err != nil {
-			return err
-		}
-		fmt.Printf("wrote replay plan to %s\n", *planOut)
-	}
-
-	fmt.Println("\nestimating feature impacts with the representatives (step 4):")
-	for _, feat := range machine.PaperFeatures() {
-		est, err := p.EvaluateFeatureContext(ctx, feat)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %-9s %-45s MIPS reduction %5.2f%%  (cost: %d replays)\n",
-			feat.Name+":", feat.Description, est.ReductionPct, est.ScenariosReplayed)
-
-		if !*perJob {
-			continue
-		}
-		for _, prof := range cfg.Jobs.HPJobs() {
-			jest, err := p.EvaluateFeatureForJobContext(ctx, feat, prof.Name)
+			f, err := os.Create(*planOut)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("      %-4s %5.2f%%\n", prof.Name, jest.ReductionPct)
+			defer f.Close()
+			if err := plan.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote replay plan to %s\n", *planOut)
 		}
+
+		fmt.Println("\nestimating feature impacts with the representatives (step 4):")
+		for _, feat := range machine.PaperFeatures() {
+			est, err := p.EvaluateFeatureContext(ctx, feat)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-9s %-45s MIPS reduction %5.2f%%  (cost: %d replays)\n",
+				feat.Name+":", feat.Description, est.ReductionPct, est.ScenariosReplayed)
+
+			if !*perJob {
+				continue
+			}
+			for _, prof := range cfg.Jobs.HPJobs() {
+				jest, err := p.EvaluateFeatureForJobContext(ctx, feat, prof.Name)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("      %-4s %5.2f%%\n", prof.Name, jest.ReductionPct)
+			}
+		}
+		return nil
+	}(); err != nil {
+		return err
 	}
-	root.End()
 
 	if *verbose {
 		fmt.Println("\nstage timings:")

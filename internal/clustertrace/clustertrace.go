@@ -197,11 +197,7 @@ func Replay(events []Event, machines int) (*scenario.Set, [][]int, error) {
 		if len(jobs) == 0 {
 			continue
 		}
-		placements := make([]scenario.Placement, 0, len(jobs))
-		for job, n := range jobs {
-			placements = append(placements, scenario.Placement{Job: job, Instances: n})
-		}
-		sc, err := scenario.New(placements)
+		sc, err := scenario.New(scenario.PlacementsFromCounts(jobs))
 		if err != nil {
 			return nil, nil, fmt.Errorf("clustertrace: %w", err)
 		}

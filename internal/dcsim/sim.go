@@ -194,17 +194,16 @@ func (st Stats) record(cfg Config, scenarios int) {
 		policy = PolicyLeastUtilised
 	}
 	reg := obs.Default()
-	count := func(name, help string, v int) {
-		reg.Counter(name, help, "policy", policy.String()).Add(uint64(v))
-	}
-	count("flare_dcsim_resizes_total", "deployment resize events processed", st.Resizes)
-	count("flare_dcsim_placements_total", "instances placed on machines", st.Scheduled)
-	count("flare_dcsim_evictions_total", "instances removed by scale-downs", st.Evicted)
-	count("flare_dcsim_rejections_total", "placements denied for lack of capacity", st.Rejected)
-	count("flare_dcsim_transitions_total", "machine-state changes observed", st.Transitions)
-	count("flare_dcsim_machine_failures_total", "injected machine failures", st.MachineFailures)
-	count("flare_dcsim_failed_instances_total", "instances displaced by machine failures", st.FailedInstances)
-	count("flare_dcsim_reschedules_total", "displaced instances placed on surviving machines", st.Rescheduled)
+	add := func(c *obs.Counter, v int) { c.Add(uint64(v)) }
+	lbl := policy.String()
+	add(reg.Counter("flare_dcsim_resizes_total", "deployment resize events processed", "policy", lbl), st.Resizes)
+	add(reg.Counter("flare_dcsim_placements_total", "instances placed on machines", "policy", lbl), st.Scheduled)
+	add(reg.Counter("flare_dcsim_evictions_total", "instances removed by scale-downs", "policy", lbl), st.Evicted)
+	add(reg.Counter("flare_dcsim_rejections_total", "placements denied for lack of capacity", "policy", lbl), st.Rejected)
+	add(reg.Counter("flare_dcsim_transitions_total", "machine-state changes observed", "policy", lbl), st.Transitions)
+	add(reg.Counter("flare_dcsim_machine_failures_total", "injected machine failures", "policy", lbl), st.MachineFailures)
+	add(reg.Counter("flare_dcsim_failed_instances_total", "instances displaced by machine failures", "policy", lbl), st.FailedInstances)
+	add(reg.Counter("flare_dcsim_reschedules_total", "displaced instances placed on surviving machines", "policy", lbl), st.Rescheduled)
 	reg.Gauge("flare_dcsim_scenarios",
 		"distinct colocation scenarios produced by the last simulation run",
 		"policy", policy.String()).Set(float64(scenarios))
@@ -507,11 +506,7 @@ func (s *sim) observe(m int) {
 	if len(st.jobs) == 0 {
 		return
 	}
-	placements := make([]scenario.Placement, 0, len(st.jobs))
-	for job, n := range st.jobs {
-		placements = append(placements, scenario.Placement{Job: job, Instances: n})
-	}
-	sc, err := scenario.New(placements)
+	sc, err := scenario.New(scenario.PlacementsFromCounts(st.jobs))
 	if err != nil {
 		// Unreachable: placements are non-empty with positive counts.
 		panic(fmt.Sprintf("dcsim: invalid observed scenario: %v", err))

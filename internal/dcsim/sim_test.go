@@ -6,6 +6,7 @@ import (
 
 	"flare/internal/clustertrace"
 	"flare/internal/machine"
+	"flare/internal/obs"
 	"flare/internal/workload"
 )
 
@@ -310,5 +311,36 @@ func TestEventsOffByDefault(t *testing.T) {
 	}
 	if trace.Events != nil {
 		t.Error("events recorded without RecordEvents")
+	}
+}
+
+func TestStatsRecordExposesMetricFamilies(t *testing.T) {
+	// Regression for the metricname rewrite of Stats.record: every family
+	// must be registered under its literal flare_dcsim_* name so the
+	// exposition surface stays machine-checkable.
+	cfg := shortConfig()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"flare_dcsim_resizes_total":          false,
+		"flare_dcsim_placements_total":       false,
+		"flare_dcsim_evictions_total":        false,
+		"flare_dcsim_rejections_total":       false,
+		"flare_dcsim_transitions_total":      false,
+		"flare_dcsim_machine_failures_total": false,
+		"flare_dcsim_failed_instances_total": false,
+		"flare_dcsim_reschedules_total":      false,
+		"flare_dcsim_scenarios":              false,
+	}
+	for _, fam := range obs.Default().Snapshot() {
+		if _, ok := want[fam.Name]; ok {
+			want[fam.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metric family %s not registered after Run", name)
+		}
 	}
 }

@@ -92,7 +92,9 @@ func (r Rule) Validate() error {
 		return errors.New("fault: rule has empty site")
 	case r.Kind < KindError || r.Kind > KindCrash:
 		return fmt.Errorf("fault: rule for %s has invalid kind %d", r.Site, int(r.Kind))
-	case r.Nth == 0 && (r.Rate < 0 || r.Rate > 1):
+	// Positive-form range check: NaN fails every comparison, so the
+	// negated form is the one that also rejects @NaN specs.
+	case r.Nth == 0 && !(r.Rate >= 0 && r.Rate <= 1):
 		return fmt.Errorf("fault: rule for %s has rate %g outside [0,1]", r.Site, r.Rate)
 	case r.Nth == 0 && r.Rate == 0:
 		return fmt.Errorf("fault: rule for %s fires never (rate 0, no call number)", r.Site)

@@ -196,3 +196,13 @@ func TestRollIsDeterministic(t *testing.T) {
 		t.Error("Roll differs across identical runs")
 	}
 }
+
+func TestParseSpecRejectsNonFiniteRates(t *testing.T) {
+	// Fuzz-found: NaN fails every comparison, so the old range check
+	// (rate < 0 || rate > 1) let @NaN specs through Validate.
+	for _, spec := range []string{"s=error@NaN", "s=error@nan", "s=error@Inf", "s=error@+Inf", "s=error@-Inf"} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a non-finite rate", spec)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives arbitrary input through the -fault-spec grammar.
+// The invariants: ParseSpec never panics; a successful parse yields only
+// valid rules (non-empty site, known kind, exactly one trigger) that an
+// Injector accepts and can render via ScheduleString without panicking.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"store.wal.append=error@0.01",
+		"store.wal.append=latency@0.05:25ms",
+		"store.flush.publish=crash#2",
+		"dcsim.machine.fail=error@0.001;replay.scenario.run=latency@0.2:1ms",
+		"a=error@1,b=crash#1",
+		" spaced.site = error@0.5 ",
+		"site=latency#3:250us",
+		"bad clause",
+		"site=error",
+		"site=@0.1",
+		"site=error@NaN",
+		"site=error@-1",
+		"site=latency@2",
+		"site=crash#0",
+		"site=error@0.1:10ms",
+		"=error@0.1",
+		"site=error@0.1:",
+		"site=error#18446744073709551615",
+		"a=error@0.1;;b=crash#1;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			if rules != nil {
+				t.Fatalf("ParseSpec(%q) returned rules alongside error %v", spec, err)
+			}
+			return
+		}
+		for i, r := range rules {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("ParseSpec(%q) rule %d invalid after successful parse: %v", spec, i, err)
+			}
+			if r.Site == "" {
+				t.Fatalf("ParseSpec(%q) rule %d has an empty site", spec, i)
+			}
+			if strings.ContainsAny(r.Site, ";,") {
+				t.Fatalf("ParseSpec(%q) rule %d site %q contains a clause separator", spec, i, r.Site)
+			}
+			switch r.Kind {
+			case KindError, KindLatency, KindCrash:
+			default:
+				t.Fatalf("ParseSpec(%q) rule %d has unknown kind %v", spec, i, r.Kind)
+			}
+			if (r.Rate > 0) == (r.Nth > 0) {
+				t.Fatalf("ParseSpec(%q) rule %d wants exactly one trigger: rate=%v nth=%d", spec, i, r.Rate, r.Nth)
+			}
+		}
+		// Every successfully parsed spec must build an Injector whose
+		// empty schedule renders safely.
+		in, err := New(rules, 1, nil)
+		if err != nil {
+			t.Fatalf("New rejected rules from successful ParseSpec(%q): %v", spec, err)
+		}
+		_ = in.ScheduleString()
+	})
+}

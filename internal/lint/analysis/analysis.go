@@ -1,0 +1,100 @@
+// Package analysis is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass/Diagnostic
+// surface for FLARE's invariant checkers to be written in the upstream
+// idiom. The API mirrors x/tools deliberately — if the sandbox ever
+// gains the real module, each analyzer ports by changing one import —
+// but the implementation is pure stdlib so the main flare module keeps
+// an empty require block.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags
+	// (lowercase identifier, e.g. "detrand").
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Run applies the analyzer to one package. It may return a
+	// result value for driver-level cross-package checks (see
+	// metricname's duplicate-registration pass).
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install this.
+	Report func(Diagnostic)
+
+	// comments caches per-file comment maps for directive lookup.
+	comments map[*ast.File]ast.CommentMap
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver helpers
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExemptedBy reports whether the line containing pos — or the line
+// immediately above it — carries a `//lint:<directive> reason` comment.
+// A directive with no reason does NOT exempt: the reason is the audit
+// trail, and requiring it keeps drive-by suppressions out of review.
+func (p *Pass) ExemptedBy(pos token.Pos, directive string) bool {
+	posn := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Pos()).Filename != posn.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cl := p.Fset.Position(c.Pos()).Line
+				if cl != posn.Line && cl != posn.Line-1 {
+					continue
+				}
+				if reason, ok := directiveReason(c.Text, directive); ok && reason != "" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveReason parses `//lint:<name> <reason>` comment text.
+func directiveReason(text, name string) (string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	prefix := "lint:" + name
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. lint:deterministic-exempted — different word
+	}
+	return strings.TrimSpace(rest), true
+}

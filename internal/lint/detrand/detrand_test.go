@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/detrand"
+	"flare/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, "../testdata", detrand.Analyzer, "kmeans", "app")
+}

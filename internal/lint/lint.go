@@ -1,0 +1,150 @@
+// Package lint assembles FLARE's invariant analyzers into a runnable
+// suite. The tools/flarelint multichecker (its own module, so this one
+// stays dependency-free) is a thin wrapper over Run; tests drive the
+// same code against the repository itself.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"flare/internal/lint/analysis"
+	"flare/internal/lint/detrand"
+	"flare/internal/lint/load"
+	"flare/internal/lint/maporder"
+	"flare/internal/lint/metricname"
+	"flare/internal/lint/spanend"
+	"flare/internal/lint/syncerr"
+)
+
+// Suite returns the five FLARE analyzers in diagnostic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		metricname.Analyzer,
+		spanend.Analyzer,
+		syncerr.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer from the suite, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Finding is one diagnostic with a resolved source position, the
+// JSON-stable shape `flarelint -json` emits.
+type Finding struct {
+	Analyzer string   `json:"analyzer"`
+	Position Position `json:"position"`
+	Message  string   `json:"message"`
+}
+
+// Position is a resolved file position.
+type Position struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+func (f Finding) String() string {
+	if f.Position.File == "" {
+		return fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		f.Position.File, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matching patterns in the module rooted at dir
+// and applies the analyzers, returning findings sorted by position.
+// Cross-package checks (metricname duplicate registrations) run over
+// the whole load at once.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	regsByPkg := make(map[string][]metricname.Registration)
+	for _, pkg := range pkgs {
+		res, fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+		if regs, ok := res[metricname.Analyzer.Name].([]metricname.Registration); ok {
+			regsByPkg[pkg.PkgPath] = regs
+		}
+	}
+	for _, c := range metricname.Conflicts(regsByPkg) {
+		findings = append(findings, Finding{
+			Analyzer: metricname.Analyzer.Name,
+			Position: Position{File: c.Pos.Filename, Line: c.Pos.Line, Column: c.Pos.Column},
+			Message:  c.Message,
+		})
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// RunPackage applies the analyzers to one loaded package, returning
+// per-analyzer results and position-resolved findings.
+func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) (map[string]interface{}, []Finding, error) {
+	results := make(map[string]interface{}, len(analyzers))
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, toFinding(pkg.Fset, name, d))
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		results[a.Name] = res
+	}
+	sortFindings(findings)
+	return results, findings, nil
+}
+
+func toFinding(fset *token.FileSet, analyzer string, d analysis.Diagnostic) Finding {
+	f := Finding{Analyzer: analyzer, Message: d.Message}
+	if d.Pos.IsValid() {
+		posn := fset.Position(d.Pos)
+		f.Position = Position{File: posn.Filename, Line: posn.Line, Column: posn.Column}
+	}
+	return f
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.File != b.Position.File {
+			return a.Position.File < b.Position.File
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flare/internal/lint"
+)
+
+func TestSuiteAndByName(t *testing.T) {
+	suite := lint.Suite()
+	if len(suite) != 5 {
+		t.Fatalf("Suite has %d analyzers, want 5", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely declared", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the suite analyzer", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := lint.Finding{
+		Analyzer: "detrand",
+		Position: lint.Position{File: "a/b.go", Line: 7, Column: 3},
+		Message:  "msg",
+	}
+	if got, want := f.String(), "a/b.go:7:3: [detrand] msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	noPos := lint.Finding{Analyzer: "metricname", Message: "cross-package"}
+	if got, want := noPos.String(), "[metricname] cross-package"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFindingJSONShape(t *testing.T) {
+	buf, err := json.Marshal(lint.Finding{
+		Analyzer: "spanend",
+		Position: lint.Position{File: "x.go", Line: 1, Column: 2},
+		Message:  "m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"spanend","position":{"file":"x.go","line":1,"column":2},"message":"m"}`
+	if string(buf) != want {
+		t.Errorf("JSON = %s, want %s", buf, want)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the determinism, telemetry,
+// and durability packages the analyzers were built to guard. This is
+// the same check CI's flarelint job performs repo-wide: any regression
+// that reintroduces a violation fails here first.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go list -export load in -short mode")
+	}
+	findings, err := lint.Run("../..", []string{
+		"./internal/kmeans/...",
+		"./internal/obs/...",
+		"./internal/store/...",
+		"./internal/dcsim/...",
+		"./internal/scenario/...",
+	}, lint.Suite())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,67 @@
+package load_test
+
+import (
+	"go/token"
+	"testing"
+
+	"flare/internal/lint/load"
+)
+
+// repoRoot is the module root relative to this package directory.
+const repoRoot = "../../.."
+
+func TestLoadTypechecksRepoPackage(t *testing.T) {
+	pkgs, err := load.Load(repoRoot, []string{"./internal/scenario"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "flare/internal/scenario" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatalf("package not fully loaded: files=%d types=%v", len(p.Files), p.Types)
+	}
+	if p.Types.Scope().Lookup("Scenario") == nil {
+		t.Error("type Scenario not found in loaded package scope")
+	}
+}
+
+func TestLoadSortsByImportPath(t *testing.T) {
+	pkgs, err := load.Load(repoRoot, []string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("Load returned %d lint packages, want >= 5", len(pkgs))
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].PkgPath >= pkgs[i].PkgPath {
+			t.Errorf("packages out of order: %s before %s", pkgs[i-1].PkgPath, pkgs[i].PkgPath)
+		}
+	}
+}
+
+func TestExportDataResolvesStdlib(t *testing.T) {
+	exports, err := load.ExportData("", "fmt", "sort")
+	if err != nil {
+		t.Fatalf("ExportData: %v", err)
+	}
+	for _, pkg := range []string{"fmt", "sort"} {
+		if exports[pkg] == "" {
+			t.Errorf("no export data path for %s", pkg)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := load.NewExportImporter(fset, exports)
+	p, err := imp.Import("fmt")
+	if err != nil {
+		t.Fatalf("importing fmt from export data: %v", err)
+	}
+	if p.Scope().Lookup("Fprintf") == nil {
+		t.Error("fmt.Fprintf not found via export importer")
+	}
+}

@@ -1,0 +1,218 @@
+// Package maporder flags `range` over a map whose iteration order can
+// leak into ordered output.
+//
+// Go map iteration order is deliberately randomized, so a map range
+// whose body appends to a slice (not subsequently sorted), writes to a
+// writer/encoder, or emits metrics produces different bytes on every
+// run — the exact bug class that once made the profiler's job_perf
+// table order nondeterministic until it was fixed by hand. The good
+// idiom is untouched: collect keys, sort, then iterate the sorted
+// slice; or append inside the range and sort the result before use.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flare/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map ranges whose body emits ordered output (append without a " +
+		"following sort, writer/encoder writes, metric emission)",
+	Run: run,
+}
+
+// metricTypes are obs instrument type names whose mutating methods make
+// iteration order observable in exposition output.
+var metricTypes = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// metricMethods are the mutating methods on those instruments.
+var metricMethods = map[string]bool{"Inc": true, "Add": true, "Observe": true, "Set": true}
+
+// writerMethods order bytes into a stream.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn = n
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkBody(pass, fn, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody scans one map-range body for ordered sinks.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng && isMapRange(pass, n) {
+				return false // nested map range reported on its own
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, fn, rng, n)
+		case *ast.CallExpr:
+			checkCall(pass, rng, n)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `s = append(s, ...)` growing a slice declared
+// outside the range, unless s is sorted later in the enclosing
+// function.
+func checkAppend(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" ||
+			pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok || target.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[target]
+		}
+		if obj == nil || declaredWithin(obj, rng) {
+			continue
+		}
+		if sortedAfter(pass, fn, rng, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside a map range without a following sort: map iteration order leaks into the slice; sort %s after the loop or iterate sorted keys",
+			target.Name, target.Name)
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (per-iteration locals are order-invisible).
+func declaredWithin(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// sortedAfter reports whether obj appears as an argument to a
+// sort/slices call after the range statement in the same function.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() < rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		calleePkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[calleePkg].(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCall flags writer/encoder writes and metric emission inside the
+// range body.
+func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+
+	// fmt.Fprint* into any writer.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" &&
+				(name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside a map range: map iteration order leaks into the output stream; iterate sorted keys instead", name)
+			}
+			return // other package-level calls are not ordered sinks
+		}
+	}
+
+	recv := receiverTypeName(pass, sel)
+	switch {
+	case writerMethods[name]:
+		pass.Reportf(call.Pos(),
+			"%s.%s inside a map range: map iteration order leaks into the output stream; iterate sorted keys instead",
+			recvLabel(recv), name)
+	case metricMethods[name] && metricTypes[recv]:
+		pass.Reportf(call.Pos(),
+			"metric %s.%s inside a map range: registration/update order becomes nondeterministic; iterate sorted keys instead",
+			recv, name)
+	}
+}
+
+// receiverTypeName returns the named type of a method call receiver.
+func receiverTypeName(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func recvLabel(name string) string {
+	if name == "" {
+		return "writer"
+	}
+	return name
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/linttest"
+	"flare/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "../testdata", maporder.Analyzer, "mapuse")
+}

@@ -1,0 +1,191 @@
+// Package metricname enforces FLARE's metric naming contract at
+// obs.Registry registration sites.
+//
+// Every Counter/Gauge/Histogram registration must use a compile-time
+// constant name matching ^flare_[a-z0-9_]+$; counter names must end in
+// _total and non-counters must not; and one name must not be
+// registered twice with a different instrument type (a runtime panic
+// in obs) or a different help string (ambiguous exposition). The
+// same-name/same-shape re-registration idiom hot paths rely on stays
+// legal. Cross-package duplicate detection runs in the flarelint
+// driver via Conflicts.
+package metricname
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"flare/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "require constant flare_-prefixed metric names (_total for counters) " +
+		"and consistent re-registration at obs registration sites",
+	Run: run,
+}
+
+// NamePattern is the required shape of every metric family name.
+var NamePattern = regexp.MustCompile(`^flare_[a-z0-9_]+$`)
+
+// Registration records one registration site for cross-package
+// duplicate checking.
+type Registration struct {
+	Name string
+	Kind string // "Counter", "Gauge", "Histogram"
+	Help string // "" when not a compile-time constant
+	Pos  token.Position
+
+	pos token.Pos // in-fset position for same-package reporting
+}
+
+var registerMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var regs []Registration
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] || !isRegistry(pass, sel) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(pass, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name must be a string literal or constant so it can be machine-checked; hoist the %s registration out of the helper",
+					sel.Sel.Name)
+				return true
+			}
+			if !NamePattern.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q does not match %s", name, NamePattern)
+			}
+			isTotal := strings.HasSuffix(name, "_total")
+			if sel.Sel.Name == "Counter" && !isTotal {
+				pass.Reportf(call.Args[0].Pos(),
+					"counter name %q must end in _total", name)
+			}
+			if sel.Sel.Name != "Counter" && isTotal {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s name %q must not end in _total (reserved for counters)",
+					strings.ToLower(sel.Sel.Name), name)
+			}
+			help := ""
+			if len(call.Args) > 1 {
+				help, _ = constString(pass, call.Args[1])
+			}
+			regs = append(regs, Registration{
+				Name: name,
+				Kind: sel.Sel.Name,
+				Help: help,
+				Pos:  pass.Fset.Position(call.Args[0].Pos()),
+				pos:  call.Args[0].Pos(),
+			})
+			return true
+		})
+	}
+
+	// Within-package duplicate check; the driver repeats this across
+	// packages (see Conflicts) where in-fset positions are unavailable.
+	firstAt := make(map[string]Registration)
+	for _, r := range regs {
+		prev, seen := firstAt[r.Name]
+		if !seen {
+			firstAt[r.Name] = r
+			continue
+		}
+		if prev.Kind != r.Kind {
+			pass.Reportf(r.pos,
+				"metric %q registered as %s here but as %s at %s (obs panics on type mismatch)",
+				r.Name, strings.ToLower(r.Kind), strings.ToLower(prev.Kind), prev.Pos)
+		} else if prev.Help != "" && r.Help != "" && prev.Help != r.Help {
+			pass.Reportf(r.pos,
+				"metric %q re-registered with different help text than at %s; exposition shows only one",
+				r.Name, prev.Pos)
+		}
+	}
+	return regs, nil
+}
+
+// Conflict is a duplicate-registration finding with a printable
+// position (cross-package findings have no token.Pos in a shared fset).
+type Conflict struct {
+	Pos     token.Position
+	Message string
+}
+
+// Conflicts returns cross-package duplicate-registration findings:
+// the same metric name registered in two packages with a different
+// instrument type or a different (constant) help string. Within-package
+// conflicts are already reported by the analyzer pass itself.
+func Conflicts(perPkg map[string][]Registration) []Conflict {
+	pkgs := make([]string, 0, len(perPkg))
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	type firstSeen struct {
+		reg Registration
+		pkg string
+	}
+	first := make(map[string]firstSeen)
+	var out []Conflict
+	for _, pkg := range pkgs {
+		for _, r := range perPkg[pkg] {
+			prev, seen := first[r.Name]
+			if !seen {
+				first[r.Name] = firstSeen{reg: r, pkg: pkg}
+				continue
+			}
+			if prev.pkg == pkg {
+				continue // same-package duplicates handled in-pass
+			}
+			if prev.reg.Kind != r.Kind {
+				out = append(out, Conflict{Pos: r.Pos, Message: fmt.Sprintf(
+					"metric %q registered as %s here but as %s at %s (obs panics on type mismatch)",
+					r.Name, strings.ToLower(r.Kind), strings.ToLower(prev.reg.Kind), prev.reg.Pos)})
+			} else if prev.reg.Help != "" && r.Help != "" && prev.reg.Help != r.Help {
+				out = append(out, Conflict{Pos: r.Pos, Message: fmt.Sprintf(
+					"metric %q re-registered with different help text than at %s; exposition shows only one",
+					r.Name, prev.reg.Pos)})
+			}
+		}
+	}
+	return out
+}
+
+// isRegistry reports whether sel's receiver is an obs-style *Registry.
+func isRegistry(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// constString resolves a compile-time constant string expression.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,83 @@
+package metricname_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"flare/internal/lint/linttest"
+	"flare/internal/lint/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	linttest.Run(t, "../testdata", metricname.Analyzer, "metrics")
+}
+
+func reg(name, kind, help, file string) metricname.Registration {
+	return metricname.Registration{
+		Name: name, Kind: kind, Help: help,
+		Pos: token.Position{Filename: file, Line: 1, Column: 1},
+	}
+}
+
+func TestConflictsCrossPackage(t *testing.T) {
+	perPkg := map[string][]metricname.Registration{
+		"flare/internal/a": {
+			reg("flare_shared_total", "Counter", "shared help", "a.go"),
+			reg("flare_kind_clash", "Gauge", "as gauge", "a.go"),
+			reg("flare_help_clash", "Gauge", "first help", "a.go"),
+		},
+		"flare/internal/b": {
+			reg("flare_shared_total", "Counter", "shared help", "b.go"), // same shape: legal
+			reg("flare_kind_clash", "Histogram", "as histogram", "b.go"),
+			reg("flare_help_clash", "Gauge", "second help", "b.go"),
+		},
+	}
+	out := metricname.Conflicts(perPkg)
+	if len(out) != 2 {
+		t.Fatalf("Conflicts returned %d findings, want 2: %v", len(out), out)
+	}
+	var kindMsg, helpMsg bool
+	for _, c := range out {
+		if strings.Contains(c.Message, `"flare_kind_clash"`) &&
+			strings.Contains(c.Message, "registered as histogram here but as gauge") {
+			kindMsg = true
+		}
+		if strings.Contains(c.Message, `"flare_help_clash"`) &&
+			strings.Contains(c.Message, "different help text") {
+			helpMsg = true
+		}
+	}
+	if !kindMsg || !helpMsg {
+		t.Errorf("conflict messages missing: kind=%v help=%v (%v)", kindMsg, helpMsg, out)
+	}
+}
+
+func TestConflictsSamePackageSkipped(t *testing.T) {
+	// Same-package duplicates are the analyzer pass's job; Conflicts
+	// must not double-report them.
+	perPkg := map[string][]metricname.Registration{
+		"flare/internal/a": {
+			reg("flare_dup", "Gauge", "one", "a.go"),
+			reg("flare_dup", "Histogram", "two", "a.go"),
+		},
+	}
+	if out := metricname.Conflicts(perPkg); len(out) != 0 {
+		t.Errorf("Conflicts reported same-package duplicates: %v", out)
+	}
+}
+
+func TestNamePattern(t *testing.T) {
+	good := []string{"flare_requests_total", "flare_queue_depth", "flare_a1_b2"}
+	bad := []string{"requests_total", "flare_", "flare_Camel", "flare-dash", "Flare_x"}
+	for _, n := range good {
+		if !metricname.NamePattern.MatchString(n) {
+			t.Errorf("NamePattern rejected %q", n)
+		}
+	}
+	for _, n := range bad {
+		if metricname.NamePattern.MatchString(n) {
+			t.Errorf("NamePattern accepted %q", n)
+		}
+	}
+}

@@ -1,0 +1,573 @@
+// Package spanend checks that every span returned by a
+// StartSpan-style call is ended on all paths out of its scope.
+//
+// obs spans observe their duration into the stage histogram only at
+// End; a span that leaks on an early return silently drops the stage
+// from /metrics and leaves an in-flight node in /api/trace forever.
+// The normal fix is `defer span.End()` immediately after StartSpan;
+// spans created inside loops (where defer would pile up) must call End
+// on every path out of the iteration.
+//
+// A span that escapes the function — returned, stored in a struct,
+// passed to another call, or captured by a closure — transfers the
+// obligation to the new owner and is not checked here.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flare/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "require End() on all paths for spans returned by StartSpan-style calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd.Body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc walks one function body looking for span-producing
+// assignments; nested function literals are separate scopes handled by
+// the escape rule.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			idx, spanType := spanResult(pass, call)
+			if spanType == nil {
+				continue
+			}
+			// Map the span result to its LHS expression: either a
+			// one-to-one assignment or a tuple destructuring.
+			var lhs ast.Expr
+			if len(as.Rhs) == 1 && len(as.Lhs) > idx {
+				lhs = as.Lhs[idx]
+			} else if len(as.Lhs) > i {
+				lhs = as.Lhs[i]
+			}
+			checkSpanVar(pass, body, as, lhs)
+		}
+		return true
+	})
+}
+
+// spanResult returns the result index and type of the span a call
+// produces, or (-1, nil). A span is a pointer to a named type called
+// Span that has an End() method — this matches obs.StartSpan and any
+// future span source without tying the analyzer to one import path.
+func spanResult(pass *analysis.Pass, call *ast.CallExpr) (int, types.Type) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return -1, nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isSpan(t.At(i).Type()) {
+				return i, t.At(i).Type()
+			}
+		}
+	default:
+		if isSpan(t) {
+			return 0, t
+		}
+	}
+	return -1, nil
+}
+
+func isSpan(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Span" {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "End" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpanVar verifies one span variable is ended on all paths.
+func checkSpanVar(pass *analysis.Pass, body *ast.BlockStmt, as *ast.AssignStmt, lhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored into a field/index: ownership transferred
+	}
+	if id.Name == "_" {
+		pass.Reportf(as.Pos(),
+			"span result discarded: End will never run and the stage never reaches the duration histogram")
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id] // = instead of :=
+	}
+	if obj == nil {
+		return
+	}
+
+	use := classifyUses(pass, body, as, obj)
+	if use.escapes {
+		return
+	}
+	if use.deferred {
+		return
+	}
+	if !use.ended {
+		pass.Reportf(as.Pos(),
+			"span %s is never ended: add `defer %s.End()` (or End it on every path)", id.Name, id.Name)
+		return
+	}
+
+	// Ends exist but none deferred: simulate paths from the statement
+	// list containing the assignment.
+	list := enclosingList(body, as)
+	if list == nil {
+		return
+	}
+	start := 0
+	for i, st := range list {
+		if st == as {
+			start = i + 1
+			break
+		}
+	}
+	w := &walker{pass: pass, obj: obj, name: id.Name}
+	st := w.stmts(list[start:], state{})
+	if !st.ended && !st.terminated {
+		// Fell off the end of the declaring scope (function body or
+		// loop iteration — each iteration makes a fresh span) un-ended.
+		pass.Reportf(as.Pos(),
+			"span %s is not ended on every path out of its scope; add `defer %s.End()` or End it on the fall-through path", id.Name, id.Name)
+	}
+}
+
+// useInfo summarises how a span variable is used.
+type useInfo struct {
+	deferred bool // defer v.End() (directly or via deferred closure)
+	ended    bool // at least one plain v.End()
+	escapes  bool // leaves the function's custody
+}
+
+func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, as *ast.AssignStmt, obj types.Object) useInfo {
+	var info useInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(pass, n.Call, obj) {
+				info.deferred = true
+				return false
+			}
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && usesObj(pass, fl, obj) {
+				if containsEndCall(pass, fl, obj) {
+					info.deferred = true
+				} else {
+					info.escapes = true
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if isEndCall(pass, n, obj) {
+				info.ended = true
+				return false
+			}
+			// Method calls on the span (SetAttr etc.) are fine; the
+			// span escapes when passed as an argument.
+			for _, arg := range n.Args {
+				if exprIsObj(pass, arg, obj) {
+					info.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if exprUsesObj(pass, r, obj) {
+					info.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == as {
+				return true
+			}
+			for _, r := range n.Rhs {
+				if exprUsesObj(pass, r, obj) {
+					info.escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if exprUsesObj(pass, e, obj) {
+					info.escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if exprUsesObj(pass, n.Value, obj) {
+				info.escapes = true
+			}
+		case *ast.GoStmt:
+			if usesObj(pass, n.Call, obj) {
+				info.escapes = true
+			}
+		case *ast.FuncLit:
+			if usesObj(pass, n, obj) {
+				info.escapes = true
+			}
+			return false
+		}
+		return true
+	})
+	return info
+}
+
+// isEndCall reports whether call is obj.End().
+func isEndCall(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return exprIsObj(pass, sel.X, obj)
+}
+
+func containsEndCall(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && isEndCall(pass, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func exprIsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj)
+}
+
+func exprUsesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingList finds the innermost statement list containing target.
+func enclosingList(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var result []ast.Stmt
+	var visit func(list []ast.Stmt)
+	visit = func(list []ast.Stmt) {
+		for _, st := range list {
+			if st == target {
+				result = list
+				return
+			}
+		}
+		for _, st := range list {
+			if target.Pos() >= st.Pos() && target.End() <= st.End() {
+				for _, inner := range childLists(st) {
+					visit(inner)
+					if result != nil {
+						return
+					}
+				}
+			}
+		}
+	}
+	visit(body.List)
+	return result
+}
+
+// childLists returns the statement lists directly nested in st.
+func childLists(st ast.Stmt) [][]ast.Stmt {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		lists := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			lists = append(lists, childLists(s.Else)...)
+		}
+		return lists
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.SelectStmt:
+		var lists [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lists = append(lists, cc.Body)
+			}
+		}
+		return lists
+	case *ast.LabeledStmt:
+		return childLists(s.Stmt)
+	}
+	return nil
+}
+
+func clauseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			lists = append(lists, cc.Body)
+		}
+	}
+	return lists
+}
+
+// state is the per-path analysis state.
+type state struct {
+	ended      bool
+	terminated bool // path exits (return/panic) — no fall-through
+}
+
+// walker simulates paths through a statement list, reporting exits
+// that leave the span un-ended.
+type walker struct {
+	pass *analysis.Pass
+	obj  types.Object
+	name string
+
+	// breakDepth/continueDepth count enclosing breakable/continuable
+	// constructs entered during the walk; an unlabeled branch inside
+	// them stays inside the span scope.
+	breakDepth    int
+	continueDepth int
+}
+
+func (w *walker) stmts(list []ast.Stmt, st state) state {
+	for _, s := range list {
+		if st.terminated {
+			return st
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if isEndCall(w.pass, call, w.obj) {
+				st.ended = true
+			} else if isNoReturn(w.pass, call) {
+				st.terminated = true
+			}
+		}
+	case *ast.DeferStmt:
+		if isEndCall(w.pass, s.Call, w.obj) || func() bool {
+			fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+			return ok && containsEndCall(w.pass, fl, w.obj)
+		}() {
+			st.ended = true // runs at function exit on every path from here
+		}
+	case *ast.ReturnStmt:
+		if !st.ended {
+			w.pass.Reportf(s.Pos(),
+				"return leaves span %s un-ended; End it before returning or use defer", w.name)
+		}
+		st.terminated = true
+	case *ast.BranchStmt:
+		exit := false
+		switch s.Tok.String() {
+		case "break":
+			exit = s.Label != nil || w.breakDepth == 0
+		case "continue":
+			exit = s.Label != nil || w.continueDepth == 0
+		case "goto":
+			exit = true
+		}
+		if exit && !st.ended {
+			w.pass.Reportf(s.Pos(),
+				"%s leaves span %s un-ended; End it before leaving the scope or use defer", s.Tok, w.name)
+		}
+		st.terminated = true
+	case *ast.BlockStmt:
+		st = w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		st = w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		thenSt := w.stmts(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else, st)
+		}
+		st = merge(thenSt, elseSt, s.Else != nil, st)
+	case *ast.ForStmt:
+		w.breakDepth++
+		w.continueDepth++
+		w.stmts(s.Body.List, st) // body checked for bad exits; state unchanged
+		w.breakDepth--
+		w.continueDepth--
+	case *ast.RangeStmt:
+		w.breakDepth++
+		w.continueDepth++
+		w.stmts(s.Body.List, st)
+		w.breakDepth--
+		w.continueDepth--
+	case *ast.SwitchStmt:
+		st = w.clauses(s.Body, st, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		st = w.clauses(s.Body, st, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		st = w.commClauses(s.Body, st)
+	}
+	return st
+}
+
+// merge combines branch states after an if.
+func merge(thenSt, elseSt state, hasElse bool, entry state) state {
+	if !hasElse {
+		elseSt = entry
+	}
+	out := state{}
+	switch {
+	case thenSt.terminated && elseSt.terminated:
+		out.terminated = true
+		out.ended = entry.ended
+	case thenSt.terminated:
+		out.ended = elseSt.ended
+	case elseSt.terminated:
+		out.ended = thenSt.ended
+	default:
+		out.ended = thenSt.ended && elseSt.ended
+	}
+	return out
+}
+
+// clauses analyses switch cases: the result is ended only if every
+// clause ends (or terminates) and a default clause exists.
+func (w *walker) clauses(body *ast.BlockStmt, entry state, hasDefault bool) state {
+	w.breakDepth++
+	defer func() { w.breakDepth-- }()
+	allEnd := true
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		st := w.stmts(cc.Body, entry)
+		if !st.terminated {
+			allTerm = false
+			if !st.ended {
+				allEnd = false
+			}
+		}
+	}
+	out := entry
+	if hasDefault && allEnd && !allTerm {
+		out.ended = true
+	}
+	if hasDefault && allTerm {
+		out.terminated = true
+	}
+	return out
+}
+
+func (w *walker) commClauses(body *ast.BlockStmt, entry state) state {
+	w.breakDepth++
+	defer func() { w.breakDepth-- }()
+	allEnd := true
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		st := w.stmts(cc.Body, entry)
+		if !st.terminated {
+			allTerm = false
+			if !st.ended {
+				allEnd = false
+			}
+		}
+	}
+	out := entry
+	// A select executes exactly one clause, so no default is needed.
+	if allEnd && !allTerm {
+		out.ended = true
+	}
+	if allTerm {
+		out.terminated = true
+	}
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isNoReturn recognises calls that never return: panic, os.Exit, and
+// log.Fatal*. Spans leaked on a crash path never reach exposition
+// anyway, so these paths are not flagged.
+func isNoReturn(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" && pass.TypesInfo.Uses[fun] == types.Universe.Lookup("panic")
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal")
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/linttest"
+	"flare/internal/lint/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	linttest.Run(t, "../testdata", spanend.Analyzer, "spans")
+}

@@ -1,0 +1,195 @@
+// Package syncerr forbids discarding durability-relevant error results
+// in FLARE's storage packages.
+//
+// The store's crash-recovery guarantees assume every fsync, rename,
+// close-after-write, and WAL append either succeeded or surfaced its
+// error. A discarded (*os.File).Sync or Close return silently converts
+// "durable" into "probably durable"; a dropped os.Rename error can
+// leave the manifest pointing at a file that never moved. The one
+// legal discard is error-path cleanup — closing a file you are already
+// abandoning because an earlier write failed — recognised by a
+// following return of a non-nil error in the same block.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"flare/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc: "forbid discarded Sync/Close/Rename/WAL-append errors on durability " +
+		"paths (internal/store, internal/metricdb, internal/report)",
+	Run: run,
+}
+
+// DurabilityPackages are the package base names the analyzer applies
+// to: the storage engine, the durable metric DB above it, and the
+// report writer that persists result tables.
+var DurabilityPackages = map[string]bool{
+	"store":    true,
+	"metricdb": true,
+	"report":   true,
+}
+
+// walMethods are WAL operations whose error carries durability state.
+var walMethods = map[string]bool{"append": true, "Append": true, "commit": true, "Commit": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !DurabilityPackages[path.Base(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, n.List)
+			case *ast.CaseClause:
+				checkList(pass, n.Body)
+			case *ast.CommClause:
+				checkList(pass, n.Body)
+			case *ast.DeferStmt:
+				if kind := durabilityCall(pass, n.Call); kind != "" {
+					pass.Reportf(n.Pos(),
+						"deferred %s discards its error on a durability path; close explicitly and check the error (or fold it into the function's error result)",
+						kind)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkList scans one statement list for discarded durability errors.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, st := range list {
+		var call *ast.CallExpr
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			c, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			call = c
+		case *ast.AssignStmt:
+			// `_ = f.Close()` and friends: every error position blank.
+			if len(s.Rhs) != 1 || !allBlank(s.Lhs) {
+				continue
+			}
+			c, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			call = c
+		default:
+			continue
+		}
+		kind := durabilityCall(pass, call)
+		if kind == "" {
+			continue
+		}
+		if errorPathAfter(pass, list[i+1:]) {
+			continue // cleanup while propagating an earlier failure
+		}
+		pass.Reportf(st.Pos(),
+			"%s error discarded on a durability path: check it (the write is not durable until it succeeds)", kind)
+	}
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// durabilityCall classifies a call whose error result matters for
+// durability; it returns a human label or "".
+func durabilityCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+
+	// os.Rename.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "os" && name == "Rename" {
+				return "os.Rename"
+			}
+			return ""
+		}
+	}
+
+	recv := receiverNamed(pass, sel)
+	if recv == nil {
+		return ""
+	}
+	recvName := recv.Obj().Name()
+	recvPkg := ""
+	if recv.Obj().Pkg() != nil {
+		recvPkg = recv.Obj().Pkg().Path()
+	}
+
+	// (*os.File).Sync / Close.
+	if recvPkg == "os" && recvName == "File" && (name == "Sync" || name == "Close") {
+		return "(*os.File)." + name
+	}
+	// WAL append/commit on a wal-named type.
+	if strings.Contains(strings.ToLower(recvName), "wal") && walMethods[name] {
+		return recvName + "." + name
+	}
+	return ""
+}
+
+func receiverNamed(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Named {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// errorPathAfter reports whether the remaining statements of the block
+// return a non-nil error: the discarded cleanup error is subsumed by
+// the failure already being propagated.
+func errorPathAfter(pass *analysis.Pass, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		ret, ok := st.(*ast.ReturnStmt)
+		if !ok {
+			continue
+		}
+		for _, res := range ret.Results {
+			if returnsNonNilError(pass, res) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func returnsNonNilError(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.AssignableTo(tv.Type, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/linttest"
+	"flare/internal/lint/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	linttest.Run(t, "../testdata", syncerr.Analyzer, "store", "other")
+}

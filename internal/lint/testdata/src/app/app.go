@@ -1,0 +1,12 @@
+// Package app is a detrand fixture for the non-critical case: the base
+// name is not on the critical list, so clock reads are legal here.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Now() time.Time { return time.Now() }
+
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,73 @@
+// Package mapuse is a maporder fixture: map ranges whose bodies leak
+// iteration order into ordered output must be flagged; the
+// collect-sort-iterate idiom and per-iteration locals stay legal.
+package mapuse
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range without a following sort`
+	}
+	return out
+}
+
+func GoodSortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func GoodLocalAppend(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		local := []string{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func BadFprint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map range`
+	}
+}
+
+func BadWriter(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want `Buffer.WriteString inside a map range`
+	}
+	return buf.String()
+}
+
+func BadMetric(m map[string]*Counter) {
+	for _, c := range m {
+		c.Inc() // want `metric Counter.Inc inside a map range`
+	}
+}
+
+func GoodSortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

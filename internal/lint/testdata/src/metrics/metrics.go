@@ -1,0 +1,67 @@
+// Package metrics is a metricname fixture: a structural clone of the
+// obs.Registry surface so registration sites can be checked without
+// importing the real package.
+package metrics
+
+type Counter struct{}
+
+func (c *Counter) Add(v uint64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return nil }
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge     { return nil }
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return nil
+}
+
+const totalName = "flare_named_by_const_total"
+
+func Good(r *Registry) {
+	r.Counter("flare_requests_total", "requests served")
+	r.Counter(totalName, "constant-expression names are fine")
+	r.Gauge("flare_queue_depth", "current depth")
+	r.Histogram("flare_latency_seconds", "request latency", nil)
+}
+
+func GoodReRegisterSameShape(r *Registry) {
+	// Same name, kind, and help as in Good: the hot-path idiom.
+	r.Counter("flare_requests_total", "requests served")
+}
+
+func BadNonConst(r *Registry, name string) {
+	r.Counter(name, "dynamic names defeat the check") // want `metric name must be a string literal or constant`
+}
+
+func BadPattern(r *Registry) {
+	r.Gauge("queueDepth", "unprefixed camelCase") // want `does not match`
+}
+
+func BadCounterSuffix(r *Registry) {
+	r.Counter("flare_requests", "counter missing _total") // want `counter name "flare_requests" must end in _total`
+}
+
+func BadGaugeSuffix(r *Registry) {
+	r.Gauge("flare_bytes_total", "gauge with the counter suffix") // want `gauge name "flare_bytes_total" must not end in _total`
+}
+
+func KindConflictFirst(r *Registry) {
+	r.Gauge("flare_conflicted", "as a gauge")
+}
+
+func KindConflictSecond(r *Registry) {
+	r.Histogram("flare_conflicted", "as a histogram", nil) // want `metric "flare_conflicted" registered as histogram here but as gauge`
+}
+
+func HelpConflict(r *Registry) {
+	r.Gauge("flare_depth", "queue depth")
+	r.Gauge("flare_depth", "disagreeing help text") // want `metric "flare_depth" re-registered with different help text`
+}

@@ -1,0 +1,13 @@
+// Package other is a syncerr fixture for the non-durability case: the
+// base name is not on the durability list, so discards are legal here.
+package other
+
+import "os"
+
+func Discard(f *os.File) {
+	_ = f.Close()
+}
+
+func DiscardDefer(f *os.File) {
+	defer f.Close()
+}

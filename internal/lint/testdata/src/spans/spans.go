@@ -1,0 +1,110 @@
+// Package spans is a spanend fixture: a structural clone of the obs
+// span surface (pointer to a named Span with an End method) plus the
+// legal and leaking usage shapes.
+package spans
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetAttr(k string, v int) {}
+
+func Start(name string) *Span { return &Span{} }
+
+func StartCtx(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+func sink(v interface{}) {}
+func work() bool         { return false }
+
+func GoodDefer() {
+	sp := Start("a")
+	defer sp.End()
+	work()
+}
+
+func GoodStraightLine() {
+	sp := Start("a")
+	work()
+	sp.End()
+}
+
+func GoodTupleDefer(ctx context.Context) context.Context {
+	ctx, sp := StartCtx(ctx, "a")
+	defer sp.End()
+	return ctx
+}
+
+func GoodDeferClosure() {
+	sp := Start("a")
+	defer func() {
+		sp.SetAttr("items", 1)
+		sp.End()
+	}()
+}
+
+func GoodAllPathsEnd(cond bool) {
+	sp := Start("a")
+	if cond {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+func GoodEscapeReturn() *Span {
+	sp := Start("a")
+	return sp // ownership transfers to the caller
+}
+
+func GoodEscapeArg() {
+	sp := Start("a")
+	sink(sp) // ownership transfers to the callee
+}
+
+func BadNeverEnded() {
+	sp := Start("a") // want `span sp is never ended`
+	sp.SetAttr("items", 1)
+}
+
+func BadDiscarded(ctx context.Context) {
+	_, _ = StartCtx(ctx, "a") // want `span result discarded`
+}
+
+func BadEarlyReturn(cond bool) {
+	sp := Start("a")
+	if cond {
+		return // want `return leaves span sp un-ended`
+	}
+	sp.End()
+}
+
+func BadFallThrough(cond bool) {
+	sp := Start("a") // want `span sp is not ended on every path out of its scope`
+	if cond {
+		sp.End()
+	}
+}
+
+func BadLoopBreak(items []int) {
+	for range items {
+		sp := Start("iter")
+		if work() {
+			break // want `break leaves span sp un-ended`
+		}
+		sp.End()
+	}
+}
+
+func GoodLoopAllPaths(items []int) {
+	for range items {
+		sp := Start("iter")
+		if work() {
+			sp.End()
+			continue
+		}
+		sp.End()
+	}
+}

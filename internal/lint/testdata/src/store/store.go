@@ -1,0 +1,37 @@
+// Package store is a syncerr fixture: its base name is on the
+// durability list, so discarded Sync/Close/Rename/WAL-append errors
+// must be flagged while checked calls and error-path cleanup stay
+// legal.
+package store
+
+import "os"
+
+type wal struct{}
+
+func (w *wal) Append(rec []byte) error { return nil }
+
+func BadDiscards(f *os.File, w *wal, rec []byte) {
+	f.Sync()            // want `Sync error discarded on a durability path`
+	_ = f.Close()       // want `Close error discarded on a durability path`
+	w.Append(rec)       // want `wal.Append error discarded on a durability path`
+	os.Rename("a", "b") // want `os.Rename error discarded on a durability path`
+}
+
+func BadDefer(f *os.File) {
+	defer f.Close() // want `deferred .*Close discards its error on a durability path`
+}
+
+func GoodChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func GoodErrorPathCleanup(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // abandoning the file: the Sync error is what propagates
+		return err
+	}
+	return f.Close()
+}

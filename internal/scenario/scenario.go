@@ -60,6 +60,20 @@ func New(placements []Placement) (Scenario, error) {
 	return out, nil
 }
 
+// PlacementsFromCounts converts a job→instance-count map into
+// placements sorted by job name. Trace builders (dcsim.observe,
+// clustertrace) accumulate per-machine residency in maps; going
+// through this helper keeps map iteration order out of every
+// downstream slice even before New canonicalises.
+func PlacementsFromCounts(counts map[string]int) []Placement {
+	out := make([]Placement, 0, len(counts))
+	for job, n := range counts {
+		out = append(out, Placement{Job: job, Instances: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}
+
 // Key returns the canonical identity string of the scenario's job mix,
 // e.g. "DA:2,DC:1,mcf:1". Two scenarios with the same Key are the same
 // colocation.

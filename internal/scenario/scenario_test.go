@@ -3,6 +3,8 @@ package scenario
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -234,6 +236,46 @@ func TestSetAddPropertyIdempotentKeying(t *testing.T) {
 		}
 		got, err := set.Get(0)
 		return err == nil && got.Observed == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementsFromCountsSorted(t *testing.T) {
+	// Trace builders feed map iteration straight through this helper; the
+	// output must be sorted by job regardless of map order.
+	got := PlacementsFromCounts(map[string]int{"mcf": 1, "DA": 2, "web": 3, "DC": 1})
+	want := []Placement{
+		{Job: "DA", Instances: 2},
+		{Job: "DC", Instances: 1},
+		{Job: "mcf", Instances: 1},
+		{Job: "web", Instances: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlacementsFromCounts = %v, want %v", got, want)
+	}
+	if n := len(PlacementsFromCounts(nil)); n != 0 {
+		t.Fatalf("PlacementsFromCounts(nil) has %d entries, want 0", n)
+	}
+}
+
+func TestPlacementsFromCountsProperty(t *testing.T) {
+	// For arbitrary maps: output is sorted, and round-trips the counts.
+	f := func(jobs map[string]int) bool {
+		out := PlacementsFromCounts(jobs)
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Job < out[j].Job }) {
+			return false
+		}
+		if len(out) != len(jobs) {
+			return false
+		}
+		for _, p := range out {
+			if jobs[p.Job] != p.Instances {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

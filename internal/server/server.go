@@ -228,7 +228,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	for name := range s.features {
 		names = append(names, name)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	writeJSON(w, http.StatusOK, summaryResponse{
 		Scenarios:       an.Dataset.Scenarios.Len(),
 		RawMetrics:      an.Dataset.Catalog.Len(),
@@ -512,5 +512,3 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, entry.resp)
 }
-
-func sortStrings(xs []string) { sort.Strings(xs) }

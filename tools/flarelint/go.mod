@@ -1,0 +1,11 @@
+// flarelint lives in its own module so the main flare module's go.mod
+// keeps an empty require block: analyzer tooling must never become a
+// runtime dependency of the pipeline. The replace directive pins the
+// analyzers to this checkout.
+module flare/tools/flarelint
+
+go 1.22
+
+require flare v0.0.0-00010101000000-000000000000
+
+replace flare => ../..

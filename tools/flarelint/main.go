@@ -1,0 +1,144 @@
+// Command flarelint machine-checks FLARE's determinism, observability,
+// and durability invariants (see DESIGN.md "Static analysis & enforced
+// invariants"). It runs five analyzers — detrand, maporder,
+// metricname, spanend, syncerr — in two modes:
+//
+// Standalone (the make lint / CI entry point):
+//
+//	flarelint [-dir moduleroot] [-json] [-analyzers a,b] [packages...]
+//
+// loads the named package patterns (default ./...) via the go
+// toolchain and prints one line per finding, exiting 1 when anything
+// is found. -json writes machine-readable diagnostics to stdout (one
+// JSON array) while the human-readable lines go to stderr.
+//
+// Vet tool (per-package, driven by the go command):
+//
+//	go vet -vettool=$(command -v flarelint) ./...
+//
+// follows the go vet unit-checking protocol: invoked with a *.cfg
+// file, it analyzes that package alone against the export data the go
+// command already built. Cross-package checks (metricname duplicate
+// registrations) only run in standalone mode.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flare/internal/lint"
+	"flare/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// `go vet -vettool` handshake, step 1: the go command probes the
+	// tool with -flags and expects a JSON array describing the flags it
+	// may pass. flarelint takes none of vet's analyzer flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("flarelint", flag.ExitOnError)
+	var (
+		dir      = fs.String("dir", ".", "module root to analyze")
+		jsonOut  = fs.Bool("json", false, "write findings as JSON to stdout")
+		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		versionV = fs.String("V", "", "internal: go tool version protocol")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: flarelint [flags] [package patterns]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Handshake step 2: -V=full derives the vet cache key. The go
+	// command requires a buildID= token when the version is devel, so
+	// hash the executable the way x/tools' unitchecker does.
+	if *versionV != "" {
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if buf, err := os.ReadFile(exe); err == nil {
+				id = fmt.Sprintf("%x", sha256.Sum256(buf))
+			}
+		}
+		fmt.Printf("flarelint version devel buildID=%s\n", id)
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flarelint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], analyzers)
+	}
+
+	findings, err := lint.Run(*dir, rest, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flarelint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "flarelint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return lint.Suite(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a := lint.ByName(n)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
