@@ -102,6 +102,10 @@ bench-stages:
 		| tee -a results/bench-stages.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkStore(Append|Scan)$$' . \
 		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEventLog' ./internal/obs \
+		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRequestTelemetry' ./internal/server \
+		| tee -a results/bench-stages.txt
 	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
 		-out results/BENCH_stages.json
 

@@ -6,14 +6,26 @@
 //	flare-server [-addr :8080] [-days 14] [-clusters 18] [-seed 1] [-db-dir DIR] [-quiet-requests]
 //	             [-max-concurrent 64] [-request-timeout 30s] [-estimate-refresh 15m]
 //	             [-fault-spec SPEC] [-fault-seed 1]
+//	             [-log-level info] [-log-json] [-trace-retain 1024]
 //
 // Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
 // /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC],
 // /api/plan, /api/db/tables, /api/db/query, /metrics (Prometheus text),
-// /api/trace (span trees), and /debug/pprof/. The pipeline build itself
-// runs under the server's tracer, so its Profile/Analyze stage timings
-// are scrapeable at /metrics and inspectable at /api/trace from the
-// first request.
+// /api/health (SLO verdict: ok/degraded/failing with reasons),
+// /api/trace (live span trees; ?page=N pages through exported request
+// history), and /debug/pprof/. The pipeline build itself runs under the
+// server's tracer, so its Profile/Analyze stage timings are scrapeable
+// at /metrics and inspectable at /api/trace from the first request.
+//
+// All process output is structured wide events (internal/obs): leveled
+// key=value lines by default, one JSON object per line with -log-json.
+// Each API request emits one event carrying its request id, route,
+// status, and duration; -quiet-requests suppresses those per-request
+// lines (warnings still print). Completed request traces and warn+
+// events are exported to the metric database, so with -db-dir the
+// /api/trace?page= history survives restarts; -trace-retain bounds how
+// many traces are kept. Point `flare-top` at this server for a live
+// operator view.
 //
 // With -db-dir the profiled dataset is recorded in a durable metric
 // database (internal/store WAL + segments) under that directory: the
@@ -31,8 +43,8 @@
 // internal/fault) for drills against exactly those paths.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests drain through http.Server.Shutdown, then the store is flushed
-// and closed.
+// requests drain through http.Server.Shutdown, then the trace exporter
+// is drained and the store is flushed and closed.
 package main
 
 import (
@@ -40,7 +52,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,14 +82,31 @@ func run() error {
 	clusters := flag.Int("clusters", 18, "representative count")
 	seed := flag.Int64("seed", 1, "random seed")
 	dbDir := flag.String("db-dir", "", "durable metric database directory (empty: in-memory only)")
-	quiet := flag.Bool("quiet-requests", false, "disable per-request log lines")
+	quiet := flag.Bool("quiet-requests", false, "disable per-request log events (warnings still print)")
 	maxConcurrent := flag.Int("max-concurrent", 64, "in-flight /api requests before shedding with 429 (0: unlimited)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "bound on waiting for an estimate computation (0: unbounded)")
 	estRefresh := flag.Duration("estimate-refresh", 15*time.Minute, "age after which cached estimates are recomputed (0: cache forever)")
 	faultSpec := flag.String("fault-spec", "",
 		`inject deterministic faults, e.g. "store.wal.append=error@0.01;server.estimate=latency@0.1:2s" (see internal/fault)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault schedule; equal seeds give identical schedules")
+	logLevel := flag.String("log-level", "info", "minimum log severity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit one JSON object per log line instead of key=value text")
+	traceRetain := flag.Int("trace-retain", server.DefaultExportRetain,
+		"exported request traces kept in the metric database before the oldest are truncated")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+
+	// The pipeline build runs under the same tracer the server exposes,
+	// so /api/trace shows the build span tree and /metrics its timings.
+	reg := obs.Default()
+	tracer := obs.NewTracer(reg)
+	ctx := obs.WithTracer(context.Background(), tracer)
+	logw := os.Stdout
+	logger := obs.NewLogger(logw, obs.LoggerOptions{Level: lv, JSON: *logJSON, Registry: reg})
 
 	var inj *fault.Injector
 	if *faultSpec != "" {
@@ -90,14 +118,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("fault injection armed: %q (seed %d)\n", *faultSpec, *faultSeed)
+		logger.Info("fault injection armed",
+			obs.KV("spec", *faultSpec), obs.KV("seed", *faultSeed))
 	}
-
-	// The pipeline build runs under the same tracer the server exposes,
-	// so /api/trace shows the build span tree and /metrics its timings.
-	reg := obs.Default()
-	tracer := obs.NewTracer(reg)
-	ctx := obs.WithTracer(context.Background(), tracer)
 
 	// Open the metric database before the (slow) pipeline build so a bad
 	// -db-dir fails fast. The store must be closed on every exit path;
@@ -117,12 +140,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("durable metric database at %s (%d segments)\n", *dbDir, st.Stats().Segments)
+		logger.Info("durable metric database open",
+			obs.KV("dir", *dbDir), obs.KV("segments", st.Stats().Segments))
 	} else {
 		db = metricdb.NewDB()
 	}
 
-	fmt.Printf("building pipeline (%d-day trace)...\n", *days)
+	logger.Info("building pipeline", obs.KV("days", *days), obs.KV("clusters", *clusters))
 	ctx, buildSpan := obs.StartSpan(ctx, "server.build")
 	var trace *dcsim.Trace
 	var p *core.Pipeline
@@ -158,7 +182,7 @@ func run() error {
 		// Record the dataset once: a restart against a populated -db-dir
 		// serves the journaled history instead of appending a duplicate run.
 		if profiler.Stored(db) {
-			fmt.Println("metric database already populated; serving recorded history")
+			logger.Info("metric database already populated; serving recorded history")
 		} else if err := p.PersistDatasetContext(ctx, db); err != nil {
 			return err
 		}
@@ -178,11 +202,28 @@ func run() error {
 		EstimateRefresh: *estRefresh,
 		Injector:        inj,
 	})
-	if !*quiet {
-		srv.Logger = log.New(os.Stdout, "", log.LstdFlags)
+	if err := srv.EnableTraceExport(db, server.ExportOptions{Retain: *traceRetain}); err != nil {
+		return err
 	}
-	fmt.Printf("pipeline ready: %d scenarios, %d representatives (built in %s)\n",
-		trace.Scenarios.Len(), len(p.Representatives()), buildSpan.Duration().Round(time.Millisecond))
+	defer srv.CloseTelemetry()
+	// The request logger shares the process's output and feeds warn+
+	// events to the exporter so they land next to their traces in the
+	// metric database. -quiet-requests lifts the floor to warn, which
+	// silences the per-request info events without losing problems.
+	reqLevel := lv
+	if *quiet && reqLevel < obs.LevelWarn {
+		reqLevel = obs.LevelWarn
+	}
+	srv.SetLogger(obs.NewLogger(logw, obs.LoggerOptions{
+		Level:    reqLevel,
+		JSON:     *logJSON,
+		Registry: reg,
+		Hook:     srv.EventHook(),
+	}))
+	logger.Info("pipeline ready",
+		obs.KV("scenarios", trace.Scenarios.Len()),
+		obs.KV("representatives", len(p.Representatives())),
+		obs.KV("build_ms", buildSpan.Duration().Milliseconds()))
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -192,7 +233,7 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s\n", *addr)
+		logger.Info("listening", obs.KV("addr", *addr))
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -204,17 +245,19 @@ func run() error {
 			return err
 		}
 	case sig := <-stop:
-		fmt.Printf("received %s, shutting down\n", sig)
+		logger.Info("shutting down", obs.KV("signal", sig.String()))
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			return err
 		}
 	}
-	// Requests have drained; flush the memtable and close the WAL so the
-	// next start recovers instantly from segments.
+	// Requests have drained; drain the trace exporter into the database,
+	// then flush the memtable and close the WAL so the next start
+	// recovers instantly from segments.
+	srv.CloseTelemetry()
 	if st != nil {
-		fmt.Println("flushing metric store")
+		logger.Info("flushing metric store")
 		if err := st.Close(); err != nil {
 			return err
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-db-dir DIR] [-per-job] [-v] [-trace-out trace.json] [-fault-spec SPEC] [-fault-seed 1]
+//	flare [-days 28] [-seed 1] [-clusters 18] [-scenarios file.json] [-db-dir DIR] [-per-job] [-v] [-trace-out trace.json] [-fault-spec SPEC] [-fault-seed 1] [-log-level info] [-log-json]
 //
 // With -scenarios, the population is loaded from a JSON file written by
 // the dcsim command instead of being re-simulated. With -db-dir, the
@@ -21,6 +21,11 @@
 // internal/fault for the grammar) and the recorded fault schedule is
 // printed after the run. The same -seed, -fault-seed, and -fault-spec
 // always reproduce the byte-identical run, faults included.
+//
+// Result tables print to stdout; progress and diagnostics are
+// structured log events (internal/obs) on stderr, so piping stdout
+// captures clean results. -log-level debug turns up detail and
+// -log-json switches diagnostics to one JSON object per line.
 package main
 
 import (
@@ -70,7 +75,17 @@ func run() error {
 	faultSpec := flag.String("fault-spec", "",
 		`inject deterministic faults, e.g. "store.wal.append=error@0.01;dcsim.machine.fail=error@0.02" (see internal/fault)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault schedule; equal seeds give identical schedules")
+	logLevel := flag.String("log-level", "info", "minimum diagnostic severity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit diagnostics as one JSON object per line")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	// Diagnostics go to stderr as structured events; result tables below
+	// stay on stdout so `flare > results.txt` captures clean output.
+	logger := obs.NewLogger(os.Stderr, obs.LoggerOptions{Level: lv, JSON: *logJSON})
 
 	if *catalogOut != "" {
 		f, err := os.Create(*catalogOut)
@@ -81,12 +96,12 @@ func run() error {
 		if err := workload.DefaultCatalog().WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote default job catalog to %s\n", *catalogOut)
+		logger.Info("wrote default job catalog", obs.KV("path", *catalogOut))
 		return nil
 	}
 
 	if *planIn != "" {
-		return estimateFromPlan(*planIn, *seed, *perJob)
+		return estimateFromPlan(*planIn, *seed, *perJob, logger)
 	}
 
 	var inj *fault.Injector
@@ -112,12 +127,12 @@ func run() error {
 	if err := func() error {
 		defer root.End()
 
-		set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed, inj)
+		set, err := loadScenariosContext(ctx, *scenariosPath, *traceCSV, *days, *seed, inj, logger)
 		if err != nil {
 			return err
 		}
 		root.SetAttr("scenarios", set.Len())
-		fmt.Printf("scenario population: %d distinct colocations\n", set.Len())
+		logger.Info("scenario population loaded", obs.KV("colocations", set.Len()))
 
 		cfg := core.DefaultConfig()
 		cfg.Profile.Seed = *seed
@@ -136,18 +151,18 @@ func run() error {
 				return err
 			}
 			cfg.Jobs = cat
-			fmt.Printf("loaded %d job profiles from %s\n", cat.Len(), *catalogPath)
+			logger.Info("loaded job catalog", obs.KV("profiles", cat.Len()), obs.KV("path", *catalogPath))
 		}
 
 		p, err := core.New(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println("profiling every scenario (step 1)...")
+		logger.Info("profiling every scenario (step 1)")
 		if err := p.ProfileContext(ctx, set); err != nil {
 			return err
 		}
-		fmt.Println("constructing high-level metrics and clustering (steps 2-3)...")
+		logger.Info("constructing high-level metrics and clustering (steps 2-3)")
 		if err := p.AnalyzeContext(ctx); err != nil {
 			return err
 		}
@@ -165,7 +180,7 @@ func run() error {
 				return err
 			}
 			if profiler.Stored(db) {
-				fmt.Printf("metric database %s already holds a dataset; not re-recording\n", *dbDir)
+				logger.Info("metric database already holds a dataset; not re-recording", obs.KV("dir", *dbDir))
 				if err := st.Close(); err != nil {
 					return err
 				}
@@ -177,7 +192,7 @@ func run() error {
 				if err := st.Close(); err != nil {
 					return err
 				}
-				fmt.Printf("recorded profiled dataset in %s\n", *dbDir)
+				logger.Info("recorded profiled dataset", obs.KV("dir", *dbDir))
 			}
 		}
 
@@ -214,7 +229,7 @@ func run() error {
 			if err := plan.WriteJSON(f); err != nil {
 				return err
 			}
-			fmt.Printf("wrote replay plan to %s\n", *planOut)
+			logger.Info("wrote replay plan", obs.KV("path", *planOut))
 		}
 
 		fmt.Println("\nestimating feature impacts with the representatives (step 4):")
@@ -260,7 +275,7 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote span-tree telemetry to %s\n", *traceOut)
+		logger.Info("wrote span-tree telemetry", obs.KV("path", *traceOut))
 	}
 	if inj != nil {
 		fmt.Printf("\nfault schedule (seed %d, %d injected):\n%s",
@@ -294,7 +309,7 @@ func printStageTimings(s obs.SpanSnapshot, depth int) {
 
 // estimateFromPlan evaluates the paper features against an exported plan:
 // no profiling, no analysis, just the representative replays.
-func estimateFromPlan(path string, seed int64, perJob bool) error {
+func estimateFromPlan(path string, seed int64, perJob bool, logger *obs.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -304,7 +319,8 @@ func estimateFromPlan(path string, seed int64, perJob bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loaded plan: %d representatives on shape %q\n", len(plan.Clusters), plan.MachineShape)
+	logger.Info("loaded plan",
+		obs.KV("representatives", len(plan.Clusters)), obs.KV("shape", plan.MachineShape))
 
 	cfg := core.DefaultConfig()
 	if plan.MachineShape == machine.SmallShape().Name {
@@ -339,7 +355,7 @@ func estimateFromPlan(path string, seed int64, perJob bool) error {
 }
 
 func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, seed int64,
-	inj *fault.Injector) (*scenario.Set, error) {
+	inj *fault.Injector, logger *obs.Logger) (*scenario.Set, error) {
 	_, span := obs.StartSpan(ctx, "flare.load_scenarios")
 	defer span.End()
 	if path != "" {
@@ -367,7 +383,7 @@ func loadScenariosContext(ctx context.Context, path, traceCSV string, days int, 
 	cfg.Seed = seed
 	cfg.Duration = time.Duration(days) * 24 * time.Hour
 	cfg.Faults = inj
-	fmt.Printf("simulating %d days of datacenter operation...\n", days)
+	logger.Info("simulating datacenter operation", obs.KV("days", days))
 	trace, err := dcsim.Run(cfg)
 	if err != nil {
 		return nil, err

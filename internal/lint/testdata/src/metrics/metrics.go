@@ -65,3 +65,22 @@ func HelpConflict(r *Registry) {
 	r.Gauge("flare_depth", "queue depth")
 	r.Gauge("flare_depth", "disagreeing help text") // want `metric "flare_depth" re-registered with different help text`
 }
+
+// The telemetry families added with the wide-event pipeline follow the
+// same discipline: SLO gauges carry unit suffixes and no _total, while
+// log/trace-export counters end in _total.
+func GoodTelemetryFamilies(r *Registry) {
+	r.Gauge("flare_slo_p99_seconds", "request latency p99 over the SLO window")
+	r.Gauge("flare_slo_error_budget_burn", "error-budget burn rate over the SLO window")
+	r.Counter("flare_log_events_total", "log events emitted by level", "level")
+	r.Counter("flare_trace_dropped_total", "root spans evicted from the trace ring")
+	r.Counter("flare_trace_exported_total", "telemetry rows exported to the metric database", "table")
+}
+
+func BadSLOCounterSuffix(r *Registry) {
+	r.Counter("flare_slo_breaches", "counter missing _total") // want `counter name "flare_slo_breaches" must end in _total`
+}
+
+func BadTraceGaugeSuffix(r *Registry) {
+	r.Gauge("flare_trace_buffered_total", "gauge with the counter suffix") // want `gauge name "flare_trace_buffered_total" must not end in _total`
+}

@@ -9,6 +9,7 @@ type Span struct{}
 
 func (s *Span) End()                    {}
 func (s *Span) SetAttr(k string, v int) {}
+func (s *Span) Snapshot() int           { return 0 }
 
 func Start(name string) *Span { return &Span{} }
 
@@ -107,4 +108,31 @@ func GoodLoopAllPaths(items []int) {
 		}
 		sp.End()
 	}
+}
+
+// The request-middleware shape: a span started only on traced paths,
+// ended (and exported) through a nil-guarded defer closure.
+func GoodConditionalDeferClosure(ctx context.Context, traced bool) {
+	var sp *Span
+	if traced {
+		_, sp = StartCtx(ctx, "http.route")
+		sp.SetAttr("method", 1)
+	}
+	defer func() {
+		if sp != nil {
+			sp.SetAttr("status", 200)
+			sp.End()
+			sink(sp.Snapshot()) // export after End reads the completed tree
+		}
+	}()
+	work()
+}
+
+func BadConditionalNeverEnded(ctx context.Context, traced bool) {
+	var sp *Span
+	if traced {
+		_, sp = StartCtx(ctx, "http.route") // want `span sp is never ended`
+		sp.SetAttr("method", 1)
+	}
+	work()
 }

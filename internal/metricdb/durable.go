@@ -7,10 +7,15 @@
 //
 //	r\x00<table>\x00<seq: uint64 BE>  -> JSON-encoded Row
 //	s\x00<table>                      -> JSON-encoded schema
+//	t\x00<table>                      -> JSON-encoded truncation marker
 //
 // Row keys embed a per-table big-endian sequence number, so the store's
 // sorted scan yields rows in exactly the order they were inserted and a
 // reconstructed table is byte-identical (WriteJSON) to the original.
+// The truncation marker re-uses the store's newest-value-wins semantics:
+// each TruncateHead re-appends the same marker key with a higher
+// below_seq, and recovery drops journaled rows beneath it (their bytes
+// are reclaimed when segment compaction merges them away).
 package metricdb
 
 import (
@@ -29,6 +34,7 @@ import (
 const (
 	rowKeyPrefix    = "r\x00"
 	schemaKeyPrefix = "s\x00"
+	truncKeyPrefix  = "t\x00"
 )
 
 // rowKey builds the store key for the seq'th row of a table.
@@ -59,6 +65,12 @@ func parseRowKey(k []byte) (table string, seq uint64, ok bool) {
 type schemaRecord struct {
 	Name    string   `json:"name"`
 	Columns []Column `json:"columns"`
+}
+
+// truncRecord is the journaled form of a retention truncation: rows of
+// the table with seq < BelowSeq are retired.
+type truncRecord struct {
+	BelowSeq uint64 `json:"below_seq"`
 }
 
 // StoreBackend journals metricdb mutations into an embedded store. Every
@@ -115,6 +127,18 @@ func (b *StoreBackend) CreateTable(name string, columns []Column) error {
 	return b.append(key, val)
 }
 
+// Truncate journals a retention marker retiring rows below belowSeq.
+// Appending the same key again shadows any earlier marker, so the
+// newest (highest) below_seq always wins on recovery.
+func (b *StoreBackend) Truncate(table string, belowSeq uint64) error {
+	val, err := json.Marshal(truncRecord{BelowSeq: belowSeq})
+	if err != nil {
+		return err
+	}
+	key := append([]byte(truncKeyPrefix), table...)
+	return b.append(key, val)
+}
+
 // Insert journals one row under the table's next sequence number.
 func (b *StoreBackend) Insert(table string, r Row) error {
 	val, err := json.Marshal(r)
@@ -139,8 +163,13 @@ func OpenDB(st *store.Store) (*DB, error) {
 	sn := st.Snapshot()
 	defer sn.Release()
 
+	type seqRow struct {
+		seq uint64
+		row Row
+	}
 	schemas := make(map[string]schemaRecord)
-	rowsByTable := make(map[string][]Row)
+	rowsByTable := make(map[string][]seqRow)
+	truncBelow := make(map[string]uint64)
 	nextSeq := make(map[string]uint64)
 	var names []string // schema order: ascending table name, per scan
 
@@ -167,10 +196,17 @@ func OpenDB(st *store.Store) (*DB, error) {
 				return false
 			}
 			// Scan order is seq order within a table.
-			rowsByTable[table] = append(rowsByTable[table], r)
+			rowsByTable[table] = append(rowsByTable[table], seqRow{seq: seq, row: r})
 			if seq >= nextSeq[table] {
 				nextSeq[table] = seq + 1
 			}
+		case bytes.HasPrefix(k, []byte(truncKeyPrefix)):
+			var rec truncRecord
+			if err := json.Unmarshal(v, &rec); err != nil {
+				scanErr = fmt.Errorf("metricdb: decoding truncation marker %q: %w", k, err)
+				return false
+			}
+			truncBelow[string(k[len(truncKeyPrefix):])] = rec.BelowSeq
 		default:
 			scanErr = fmt.Errorf("metricdb: unknown journal key %q", k)
 			return false
@@ -182,7 +218,9 @@ func OpenDB(st *store.Store) (*DB, error) {
 	}
 
 	// Build in-memory first (no backend attached) — the journal already
-	// holds these records; replaying them must not re-journal.
+	// holds these records; replaying them must not re-journal. Rows
+	// beneath a table's truncation marker were retired by TruncateHead
+	// and are skipped (compaction reclaims their bytes eventually).
 	db := NewDB()
 	for _, name := range names {
 		rec := schemas[name]
@@ -190,8 +228,13 @@ func OpenDB(st *store.Store) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("metricdb: rebuilding table %s: %w", rec.Name, err)
 		}
-		for i, r := range rowsByTable[rec.Name] {
-			if err := t.Insert(r); err != nil {
+		below := truncBelow[rec.Name]
+		t.firstSeq = below
+		for i, sr := range rowsByTable[rec.Name] {
+			if sr.seq < below {
+				continue
+			}
+			if err := t.Insert(sr.row); err != nil {
 				return nil, fmt.Errorf("metricdb: rebuilding %s row %d: %w", rec.Name, i, err)
 			}
 		}

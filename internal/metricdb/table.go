@@ -77,6 +77,15 @@ type Backend interface {
 	Insert(table string, r Row) error
 }
 
+// Truncator is an optional Backend capability: journaling a durable
+// truncation marker so rows dropped by TruncateHead stay dropped after a
+// restart. Backends without it truncate in memory only.
+type Truncator interface {
+	// Truncate records that all rows of table with sequence numbers below
+	// belowSeq are retired.
+	Truncate(table string, belowSeq uint64) error
+}
+
 // Table is a typed, append-only relation. It is safe for concurrent use:
 // inserts take the write lock, queries the read lock.
 type Table struct {
@@ -86,6 +95,9 @@ type Table struct {
 	colIdx  map[string]int
 	rows    []Row
 	backend Backend // nil for in-memory tables
+	// firstSeq is the backend sequence number of rows[0]; it advances as
+	// TruncateHead retires the oldest rows. Always 0 without a backend.
+	firstSeq uint64
 }
 
 // NewTable creates a table with the given schema. Column names must be
@@ -155,6 +167,36 @@ func (t *Table) Insert(r Row) error {
 	}
 	t.rows = append(t.rows, cp)
 	return nil
+}
+
+// TruncateHead retires the oldest rows so at most keep remain — the
+// retention knob for append-only telemetry tables that would otherwise
+// grow without bound. With a Truncator backend the truncation is
+// journaled first, so a restarted database recovers only the surviving
+// rows; journal failure leaves the table unchanged. Returns how many
+// rows were dropped. Old journal records are reclaimed lazily by the
+// store's segment compaction, not rewritten here.
+func (t *Table) TruncateHead(keep int) (int, error) {
+	if keep < 0 {
+		keep = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop := len(t.rows) - keep
+	if drop <= 0 {
+		return 0, nil
+	}
+	below := t.firstSeq + uint64(drop)
+	if tr, ok := t.backend.(Truncator); ok {
+		if err := tr.Truncate(t.name, below); err != nil {
+			return 0, fmt.Errorf("metricdb: journaling %s truncation: %w", t.name, err)
+		}
+	}
+	// Copy the survivors into a fresh slice so the dropped prefix is
+	// actually released, not pinned by the shared backing array.
+	t.rows = append(make([]Row, 0, keep), t.rows[drop:]...)
+	t.firstSeq = below
+	return drop, nil
 }
 
 // ColumnIndex returns the position of the named column, or an error.

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramStateAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("flare_q_seconds", "", []float64{0.1, 0.2, 0.5, 1})
+	// 50 samples in (0, 0.1], 40 in (0.1, 0.2], 9 in (0.2, 0.5], 1 in +Inf.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.15)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.3)
+	}
+	h.Observe(5)
+
+	st := h.State()
+	if st.Count != 100 {
+		t.Fatalf("count = %d, want 100", st.Count)
+	}
+	if got := len(st.Cumulative); got != 5 {
+		t.Fatalf("cumulative buckets = %d, want 5", got)
+	}
+	if st.Cumulative[4] != st.Count {
+		t.Errorf("+Inf cumulative %d != count %d", st.Cumulative[4], st.Count)
+	}
+
+	// p50: rank 50 sits exactly at the first bucket's upper edge.
+	if p50 := st.Quantile(0.5); math.Abs(p50-0.1) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.1", p50)
+	}
+	// p90: rank 90 at the second bucket's upper edge.
+	if p90 := st.Quantile(0.9); math.Abs(p90-0.2) > 1e-9 {
+		t.Errorf("p90 = %v, want 0.2", p90)
+	}
+	// p95: rank 95 interpolates inside (0.2, 0.5] — 5 of its 9 samples in.
+	wantP95 := 0.2 + 0.3*5/9
+	if p95 := st.Quantile(0.95); math.Abs(p95-wantP95) > 1e-9 {
+		t.Errorf("p95 = %v, want %v", p95, wantP95)
+	}
+	// p999 lands in the +Inf bucket and clamps to the top finite bound.
+	if p999 := st.Quantile(0.999); p999 != 1 {
+		t.Errorf("p999 = %v, want clamp to 1", p999)
+	}
+}
+
+func TestHistogramStateSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("flare_sub_seconds", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	before := h.State()
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(20)
+	after := h.State()
+
+	delta := after.Sub(before)
+	if delta.Count != 3 {
+		t.Errorf("delta count = %d, want 3", delta.Count)
+	}
+	if math.Abs(delta.Sum-21) > 1e-9 {
+		t.Errorf("delta sum = %v, want 21", delta.Sum)
+	}
+	want := []uint64{2, 2, 3}
+	for i, w := range want {
+		if delta.Cumulative[i] != w {
+			t.Errorf("delta cumulative[%d] = %d, want %d", i, delta.Cumulative[i], w)
+		}
+	}
+
+	// Mismatched prev (restart: counts ran backwards) degrades to the
+	// lifetime state rather than underflowing.
+	if got := before.Sub(after); got.Count != before.Count {
+		t.Errorf("backwards Sub = %+v, want before unchanged", got)
+	}
+	if got := after.Sub(HistogramState{}); got.Count != after.Count {
+		t.Errorf("zero-prev Sub = %+v, want after unchanged", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramState
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	one := HistogramState{Bounds: []float64{1}, Cumulative: []uint64{1, 1}, Count: 1}
+	if got := one.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("single-sample p50 = %v, want 0.5", got)
+	}
+	// Out-of-range q clamps.
+	if got := one.Quantile(2); got != 1 {
+		t.Errorf("q=2 -> %v, want 1", got)
+	}
+	if got := one.Quantile(-1); got != 0 {
+		t.Errorf("q=-1 -> %v, want 0", got)
+	}
+}
+
+func TestRegistryHistogramStateSumsSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("flare_fam_seconds", "", []float64{1}, "route", "/a").Observe(0.5)
+	r.Histogram("flare_fam_seconds", "", []float64{1}, "route", "/b").Observe(0.5)
+	r.Histogram("flare_fam_seconds", "", []float64{1}, "route", "/b").Observe(2)
+
+	st, ok := r.HistogramState("flare_fam_seconds")
+	if !ok {
+		t.Fatal("HistogramState not ok for existing family")
+	}
+	if st.Count != 3 {
+		t.Errorf("summed count = %d, want 3", st.Count)
+	}
+	if st.Cumulative[0] != 2 || st.Cumulative[1] != 3 {
+		t.Errorf("summed cumulative = %v, want [2 3]", st.Cumulative)
+	}
+	if math.Abs(st.Sum-3) > 1e-9 {
+		t.Errorf("summed sum = %v, want 3", st.Sum)
+	}
+
+	if _, ok := r.HistogramState("flare_missing_seconds"); ok {
+		t.Error("HistogramState ok for missing family")
+	}
+	r.Counter("flare_not_hist_total", "").Inc()
+	if _, ok := r.HistogramState("flare_not_hist_total"); ok {
+		t.Error("HistogramState ok for counter family")
+	}
+}
+
+func TestCounterFamilyTotal(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flare_cft_total", "", "code", "200").Add(7)
+	r.Counter("flare_cft_total", "", "code", "500").Add(2)
+	r.Counter("flare_cft_total", "", "code", "503").Add(1)
+
+	if got, ok := r.CounterFamilyTotal("flare_cft_total", nil); !ok || got != 10 {
+		t.Errorf("total = %d, ok=%v; want 10, true", got, ok)
+	}
+	errs, ok := r.CounterFamilyTotal("flare_cft_total", func(labels string) bool {
+		return labels == `{code="500"}` || labels == `{code="503"}`
+	})
+	if !ok || errs != 3 {
+		t.Errorf("filtered total = %d, ok=%v; want 3, true", errs, ok)
+	}
+	if _, ok := r.CounterFamilyTotal("flare_absent_total", nil); ok {
+		t.Error("total ok for missing family")
+	}
+}

@@ -110,6 +110,70 @@ func TestExpositionEscapesLabelValues(t *testing.T) {
 	}
 }
 
+func TestExpositionEscapesEachSpecialCharacter(t *testing.T) {
+	// Per-character coverage of the text-format escapes: backslash must
+	// escape first (otherwise the \n and \" escapes get double-escaped).
+	cases := []struct{ raw, rendered string }{
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"\\\"\n", `\\\"\n`},
+		{"plain", "plain"},
+	}
+	for _, c := range cases {
+		r := NewRegistry()
+		r.Counter("flare_esc_total", "", "v", c.raw).Inc()
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		want := `flare_esc_total{v="` + c.rendered + `"} 1`
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("value %q: exposition missing %q in:\n%s", c.raw, want, b.String())
+		}
+	}
+}
+
+func TestHistogramInfBucketInvariant(t *testing.T) {
+	// The +Inf bucket is cumulative: it must always equal _count, for
+	// every labelled series, including samples above the top bound and
+	// series with zero samples.
+	r := NewRegistry()
+	h := r.Histogram("flare_inv_seconds", "", []float64{0.1, 1}, "route", "/a")
+	for _, v := range []float64{0.05, 0.5, 50, 100} {
+		h.Observe(v)
+	}
+	r.Histogram("flare_inv_seconds", "", []float64{0.1, 1}, "route", "/b") // no samples
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`flare_inv_seconds_bucket{route="/a",le="0.1"} 1`,
+		`flare_inv_seconds_bucket{route="/a",le="1"} 2`,
+		`flare_inv_seconds_bucket{route="/a",le="+Inf"} 4`,
+		`flare_inv_seconds_count{route="/a"} 4`,
+		`flare_inv_seconds_bucket{route="/b",le="+Inf"} 0`,
+		`flare_inv_seconds_count{route="/b"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cross-check via snapshot: +Inf == count and buckets monotone.
+	bounds, cum, _, count := h.snapshot()
+	if cum[len(cum)-1] != count {
+		t.Errorf("+Inf cumulative %d != count %d", cum[len(cum)-1], count)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative not monotone at %d: %v (bounds %v)", i, cum, bounds)
+		}
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("flare_a_total", "help a").Add(7)

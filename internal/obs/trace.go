@@ -117,6 +117,16 @@ type SpanSnapshot struct {
 	Children   []SpanSnapshot `json:"children,omitempty"`
 }
 
+// Snapshot copies this span's tree (zero value for a nil span) — how a
+// single request trace is rendered for durable export without touching
+// the tracer's shared ring.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
+}
+
 // snapshot copies the span tree under each node's lock.
 func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
@@ -138,38 +148,74 @@ func (s *Span) snapshot() SpanSnapshot {
 	return out
 }
 
-// Tracer collects completed root spans into a bounded ring (newest last).
-type Tracer struct {
-	reg *Registry
+// DefaultTraceCapacity is how many root spans NewTracer retains.
+const DefaultTraceCapacity = 32
 
-	mu    sync.Mutex
-	roots []*Span
-	cap   int
+// Tracer collects completed root spans into a fixed-capacity ring.
+// Once the ring is full every new root evicts the oldest one; evictions
+// are counted in flare_trace_dropped_total so operators can see when
+// the live window is turning over faster than it is being read (the
+// durable trace export, not this ring, is the history of record).
+type Tracer struct {
+	reg     *Registry
+	dropped *Counter // nil when reg is nil
+
+	mu   sync.Mutex
+	ring []*Span // fixed ring storage, nil slots until first wrap
+	head int     // index of the oldest retained root
+	n    int     // retained count, <= len(ring)
 }
 
 // NewTracer returns a tracer observing stage durations into reg (which
 // may be nil to record spans without histogram exposition). It retains
-// the 32 most recent root spans.
+// the DefaultTraceCapacity most recent root spans.
 func NewTracer(reg *Registry) *Tracer {
-	return &Tracer{reg: reg, cap: 32}
+	return NewTracerCapacity(reg, DefaultTraceCapacity)
+}
+
+// NewTracerCapacity is NewTracer with an explicit root-span retention;
+// capacity <= 0 falls back to DefaultTraceCapacity.
+func NewTracerCapacity(reg *Registry, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{reg: reg, ring: make([]*Span, capacity)}
+	if reg != nil {
+		t.dropped = reg.Counter("flare_trace_dropped_total",
+			"completed root spans evicted from the tracer's bounded ring")
+	}
+	return t
 }
 
 // Registry returns the registry stage durations are observed into.
 func (t *Tracer) Registry() *Registry { return t.reg }
 
+// Capacity returns the ring's fixed root-span retention.
+func (t *Tracer) Capacity() int { return len(t.ring) }
+
 func (t *Tracer) recordRoot(s *Span) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.roots = append(t.roots, s)
-	if len(t.roots) > t.cap {
-		t.roots = t.roots[len(t.roots)-t.cap:]
+	if t.n < len(t.ring) {
+		t.ring[(t.head+t.n)%len(t.ring)] = s
+		t.n++
+		t.mu.Unlock()
+		return
+	}
+	t.ring[t.head] = s
+	t.head = (t.head + 1) % len(t.ring)
+	t.mu.Unlock()
+	if t.dropped != nil {
+		t.dropped.Inc()
 	}
 }
 
 // Snapshot returns the retained root span trees, oldest first.
 func (t *Tracer) Snapshot() []SpanSnapshot {
 	t.mu.Lock()
-	roots := append([]*Span(nil), t.roots...)
+	roots := make([]*Span, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		roots = append(roots, t.ring[(t.head+i)%len(t.ring)])
+	}
 	t.mu.Unlock()
 	out := make([]SpanSnapshot, 0, len(roots))
 	for _, r := range roots {

@@ -102,6 +102,73 @@ func TestTracerRetainsBoundedRoots(t *testing.T) {
 	}
 }
 
+func TestTracerRingEvictsOldestAndCounts(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracerCapacity(reg, 4)
+	if tr.Capacity() != 4 {
+		t.Fatalf("capacity = %d, want 4", tr.Capacity())
+	}
+	ctx := WithTracer(context.Background(), tr)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		_, s := StartSpan(ctx, n)
+		s.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained = %d, want 4", len(snap))
+	}
+	// Oldest first: a and b were evicted.
+	for i, want := range []string{"c", "d", "e", "f"} {
+		if snap[i].Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q", i, snap[i].Name, want)
+		}
+	}
+	dropped := reg.Counter("flare_trace_dropped_total", "").Value()
+	if dropped != 2 {
+		t.Errorf("flare_trace_dropped_total = %d, want 2", dropped)
+	}
+}
+
+func TestTracerCapacityFallback(t *testing.T) {
+	if got := NewTracerCapacity(nil, 0).Capacity(); got != DefaultTraceCapacity {
+		t.Errorf("capacity(0) = %d, want %d", got, DefaultTraceCapacity)
+	}
+	if got := NewTracerCapacity(nil, -5).Capacity(); got != DefaultTraceCapacity {
+		t.Errorf("capacity(-5) = %d, want %d", got, DefaultTraceCapacity)
+	}
+}
+
+// TestConcurrentRootRecording wraps the ring with concurrent root spans
+// and snapshots; run with -race. Retention must never exceed capacity
+// and every completed root beyond it must be counted as dropped.
+func TestConcurrentRootRecording(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracerCapacity(reg, 8)
+	ctx := WithTracer(context.Background(), tr)
+	const workers, iters = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, s := StartSpan(ctx, "root")
+				s.End()
+				if n := len(tr.Snapshot()); n > 8 {
+					t.Errorf("snapshot len %d exceeds capacity", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	dropped := reg.Counter("flare_trace_dropped_total", "").Value()
+	if want := uint64(workers*iters - 8); dropped != want {
+		t.Errorf("dropped = %d, want %d", dropped, want)
+	}
+}
+
 func TestSetAttrOverrides(t *testing.T) {
 	tr := NewTracer(nil)
 	ctx := WithTracer(context.Background(), tr)

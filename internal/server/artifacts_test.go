@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// artifactsEnv names the directory server tests dump diagnostics into
+// when they fail. CI sets it and uploads the directory as a workflow
+// artifact, so a red run ships its /metrics exposition and trace JSON
+// alongside the log.
+const artifactsEnv = "FLARE_TEST_ARTIFACTS"
+
+// dumpArtifactsOnFailure registers a cleanup that, if the test failed
+// and FLARE_TEST_ARTIFACTS is set, writes the server's metrics and
+// retained traces there. Registered by the server-building test
+// helpers; a no-op on green tests and unset environments.
+func dumpArtifactsOnFailure(t *testing.T, s *Server) {
+	t.Helper()
+	dir := os.Getenv(artifactsEnv)
+	if dir == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if err := dumpArtifacts(t.Name(), s, dir); err != nil {
+			t.Logf("artifacts: %v", err)
+		} else {
+			t.Logf("artifacts: wrote metrics + trace for %s under %s", t.Name(), dir)
+		}
+	})
+}
+
+// dumpArtifacts writes one metrics exposition and one trace JSON file
+// for the named test into dir.
+func dumpArtifacts(name string, s *Server, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := strings.ReplaceAll(name, "/", "_") // subtests carry slashes
+
+	var metrics strings.Builder
+	if err := s.Registry().WritePrometheus(&metrics); err != nil {
+		fmt.Fprintf(&metrics, "# rendering failed: %v\n", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".metrics.txt"),
+		[]byte(metrics.String()), 0o644); err != nil {
+		return err
+	}
+
+	var traces strings.Builder
+	if err := s.Tracer().WriteJSON(&traces); err != nil {
+		fmt.Fprintf(&traces, `{"error": %q}`, err.Error())
+	}
+	return os.WriteFile(filepath.Join(dir, base+".trace.json"),
+		[]byte(traces.String()), 0o644)
+}
+
+// TestArtifactDump covers the CI failure-diagnostics path: the dump
+// must produce a parseable exposition and a trace document.
+func TestArtifactDump(t *testing.T) {
+	dir := t.TempDir()
+	s := newTelemetryServer(t)
+	h := s.Handler()
+	get(t, h, "/api/summary", http.StatusOK, nil)
+
+	if err := dumpArtifacts("TestArtifactDump/sub", s, dir); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := os.ReadFile(filepath.Join(dir, "TestArtifactDump_sub.metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "flare_http_requests_total") {
+		t.Errorf("metrics artifact lacks request telemetry:\n%s", metrics)
+	}
+	trace, err := os.ReadFile(filepath.Join(dir, "TestArtifactDump_sub.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"roots"`) {
+		t.Errorf("trace artifact lacks roots:\n%s", trace)
+	}
+}

@@ -31,7 +31,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flare/internal/core"
@@ -51,8 +53,15 @@ type Server struct {
 	tracer *obs.Tracer
 
 	// Logger, when set before Handler is called, receives one line per
-	// request from the telemetry middleware.
+	// request from the telemetry middleware. Deprecated shim: new code
+	// should use SetLogger with a structured *obs.Logger instead.
 	Logger *log.Logger
+
+	logger   *obs.Logger    // structured wide events; nil is safe
+	slo      *sloTracker    // windowed SLO state behind /api/health
+	exporter *traceExporter // durable trace/event export; nil = disabled
+	reqBase  string         // request-ID prefix, unique per process start
+	reqSeq   atomic.Uint64  // request-ID sequence
 
 	opts Options       // resilience settings; see SetResilience
 	sem  chan struct{} // concurrency limiter; nil = unlimited
@@ -89,9 +98,11 @@ func NewWithTelemetry(p *core.Pipeline, features []machine.Feature,
 		features: make(map[string]machine.Feature, len(features)),
 		reg:      reg,
 		tracer:   tracer,
+		reqBase:  strconv.FormatInt(time.Now().UnixMilli(), 36),
 		cache:    make(map[string]*estimateEntry),
 		lastGood: make(map[string]estimateResponse),
 	}
+	s.slo = newSLOTracker(reg, SLOOptions{})
 	for _, f := range features {
 		if _, dup := s.features[f.Name]; dup {
 			return nil, fmt.Errorf("server: duplicate feature %q", f.Name)
@@ -108,6 +119,57 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Tracer returns the tracer estimate computations record spans into.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// SetLogger installs the structured logger the middleware emits wide
+// events through (and propagates to handlers via the request context).
+// Call before Handler; a nil logger disables structured logging.
+func (s *Server) SetLogger(l *obs.Logger) { s.logger = l }
+
+// SetSLO replaces the SLO tracker's configuration. Call before serving.
+func (s *Server) SetSLO(opts SLOOptions) { s.slo = newSLOTracker(s.reg, opts) }
+
+// EventHook returns a LoggerOptions.Hook that journals every emitted
+// log event into the durable events table. It is safe to install before
+// EnableTraceExport is called (events are simply not exported until it
+// is) and must stay cheap: it only enqueues.
+func (s *Server) EventHook() func(obs.Event) {
+	return func(ev obs.Event) {
+		if e := s.exporter; e != nil {
+			e.enqueueEvent(ev)
+		}
+	}
+}
+
+// EnableTraceExport starts durable wide-event export into db (creating
+// the request_traces / request_events tables when absent). With a
+// store-backed db the history survives restarts and /api/trace?page=N
+// serves it. Call before Handler.
+func (s *Server) EnableTraceExport(db *metricdb.DB, opts ExportOptions) error {
+	e, err := newTraceExporter(db, s.reg, opts)
+	if err != nil {
+		return err
+	}
+	s.exporter = e
+	return nil
+}
+
+// FlushTelemetry blocks until every export record enqueued so far is
+// applied — tests and graceful shutdown use it to make export state
+// observable.
+func (s *Server) FlushTelemetry() {
+	if s.exporter != nil {
+		s.exporter.Flush()
+	}
+}
+
+// CloseTelemetry drains and stops the exporter. The server must not
+// serve traced requests afterwards.
+func (s *Server) CloseTelemetry() {
+	if s.exporter != nil {
+		s.exporter.Close()
+		s.exporter = nil
+	}
+}
+
 // Handler returns the server's routing mux. Every route, including the
 // pprof surface, runs behind the telemetry middleware; /api routes
 // additionally run behind the concurrency limiter (when configured),
@@ -122,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, s.instrument(pattern, s.limit(pattern, h)))
 	}
 	route("/healthz", s.handleHealth)
+	route("/api/health", s.handleSLOHealth)
 	api("/api/summary", s.handleSummary)
 	api("/api/representatives", s.handleRepresentatives)
 	api("/api/pcs", s.handlePCs)
@@ -145,18 +208,91 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	// Refresh the flare_slo_* gauges so every scrape (and flare-top poll)
+	// sees current-window values, not the last /api/health evaluation.
+	s.slo.evaluate(s.breakerState())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// Write errors past this point mean a dropped connection; nothing to
 	// report to the client.
 	_ = s.reg.WritePrometheus(w)
 }
 
-// handleTrace serves the tracer's retained root span trees.
+// tracePage is one page of durable request-trace history.
+type tracePage struct {
+	Page     int          `json:"page"`
+	PageSize int          `json:"page_size"`
+	Total    int          `json:"total"`
+	Traces   []traceEntry `json:"traces"`
+}
+
+// traceEntry is one exported request trace.
+type traceEntry struct {
+	ID          string          `json:"id"`
+	Route       string          `json:"route"`
+	Method      string          `json:"method"`
+	Status      int             `json:"status"`
+	DurationMs  float64         `json:"duration_ms"`
+	StartUnixMs int64           `json:"start_unix_ms"`
+	Trace       json.RawMessage `json:"trace"`
+}
+
+const (
+	traceDefaultPageSize = 20
+	traceMaxPageSize     = 500
+)
+
+// handleTrace serves traces. Without parameters it answers with the
+// tracer's live in-memory ring (the historical behaviour). With
+// ?page=N[&page_size=M] it pages through the durable request-trace
+// history newest-first — which, with a store-backed database, spans
+// server restarts.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.tracer.Snapshot())
+	q := r.URL.Query()
+	if q.Get("page") == "" {
+		writeJSON(w, http.StatusOK, s.tracer.Snapshot())
+		return
+	}
+	if s.exporter == nil {
+		writeError(w, http.StatusNotFound, "trace export not enabled (start flare-server with -db-dir)")
+		return
+	}
+	page, err := intParam(q.Get("page"), 0)
+	if err != nil || page < 0 {
+		writeError(w, http.StatusBadRequest, "bad page %q", q.Get("page"))
+		return
+	}
+	size, err := intParam(q.Get("page_size"), traceDefaultPageSize)
+	if err != nil || size <= 0 {
+		writeError(w, http.StatusBadRequest, "bad page_size %q", q.Get("page_size"))
+		return
+	}
+	if size > traceMaxPageSize {
+		size = traceMaxPageSize
+	}
+	rows := s.exporter.traces.Select(nil) // insertion order: oldest first
+	resp := tracePage{Page: page, PageSize: size, Total: len(rows), Traces: make([]traceEntry, 0, size)}
+	// Page 0 is the newest traces: walk the rows backwards.
+	start := len(rows) - 1 - page*size
+	for i := start; i >= 0 && i > start-size; i-- {
+		row := rows[i]
+		entry := traceEntry{
+			ID:          row[0].S,
+			Route:       row[1].S,
+			Method:      row[2].S,
+			Status:      int(row[3].I),
+			DurationMs:  row[4].F,
+			StartUnixMs: row[5].I,
+			Trace:       json.RawMessage(row[6].S),
+		}
+		if !json.Valid(entry.Trace) {
+			entry.Trace = json.RawMessage(`{}`)
+		}
+		resp.Traces = append(resp.Traces, entry)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePlan serves the portable replay plan (representatives + weights +

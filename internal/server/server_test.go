@@ -306,12 +306,36 @@ func TestTraceEndpointSpanNesting(t *testing.T) {
 	h := s.Handler()
 	get(t, h, "/api/estimate?feature=feature2", http.StatusOK, nil)
 
+	// The request leaves two roots: the middleware's http span and the
+	// estimate computation (which runs on its own goroutine/context).
 	var roots []obs.SpanSnapshot
 	get(t, h, "/api/trace", http.StatusOK, &roots)
-	if len(roots) != 1 {
-		t.Fatalf("trace roots = %d, want 1", len(roots))
+	if len(roots) != 2 {
+		t.Fatalf("trace roots = %d, want 2", len(roots))
 	}
-	root := roots[0]
+	var root, httpRoot obs.SpanSnapshot
+	for _, r := range roots {
+		switch r.Name {
+		case "server.estimate":
+			root = r
+		case "http./api/estimate":
+			httpRoot = r
+		default:
+			t.Fatalf("unexpected root span %q", r.Name)
+		}
+	}
+	if httpRoot.Name == "" {
+		t.Fatal("missing http request root span")
+	}
+	foundID := false
+	for _, a := range httpRoot.Attrs {
+		if a.Key == "request_id" && a.Value != "" {
+			foundID = true
+		}
+	}
+	if !foundID {
+		t.Errorf("http root missing request_id attr: %+v", httpRoot.Attrs)
+	}
 	if root.Name != "server.estimate" || root.InFlight {
 		t.Errorf("root = %s (in flight %v)", root.Name, root.InFlight)
 	}
