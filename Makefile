@@ -17,7 +17,7 @@ COVERAGE_FLOOR = 70
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all check vet lint lint-tools flarelint fix build test race coverage bench bench-stages fmt clean
+.PHONY: all check vet lint lint-tools flarelint fix build test race coverage bench bench-stages profile-cpu fmt clean
 
 all: check
 
@@ -106,8 +106,21 @@ bench-stages:
 		| tee -a results/bench-stages.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRequestTelemetry' ./internal/server \
 		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkProfiler(Collect|Tick)$$' -benchtime 10x ./internal/profiler \
+		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPCAUpdate$$' ./internal/pca \
+		| tee -a results/bench-stages.txt
 	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
 		-out results/BENCH_stages.json
+
+# CPU profile of the pipeline-stage benchmark (the profiler/analyzer hot
+# path). Prints the top inclusive entries and leaves results/cpu.pprof
+# for interactive inspection with `go tool pprof results/cpu.pprof`.
+profile-cpu:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineStages' -benchtime 3x \
+		-cpuprofile results/cpu.pprof -o results/bench.test .
+	$(GO) tool pprof -top -nodecount 20 results/bench.test results/cpu.pprof
 
 fmt:
 	gofmt -w $$(git ls-files '*.go')

@@ -17,6 +17,8 @@ import (
 	"fmt"
 
 	"flare/internal/analyzer"
+	"flare/internal/drift"
+	"flare/internal/linalg"
 	"flare/internal/machine"
 	"flare/internal/metricdb"
 	"flare/internal/metrics"
@@ -63,6 +65,15 @@ type Pipeline struct {
 	inherent *perfscore.Inherent
 	dataset  *profiler.Dataset
 	analysis *analyzer.Analysis
+
+	// Streaming state: the collector that owns the dataset's columnar
+	// buffers (retained so Tick can re-measure deltas in place), the
+	// incremental analyzer, and the drift detector that triggers its full
+	// rebuilds. The latter two are built lazily on the first tick and
+	// discarded whenever a full Profile/Analyze resets the baseline.
+	collector *profiler.Collector
+	inc       *analyzer.Incremental
+	det       *drift.Detector
 }
 
 // New validates the configuration and prepares the pipeline (including
@@ -100,12 +111,19 @@ func (p *Pipeline) ProfileContext(ctx context.Context, set *scenario.Set) error 
 	if set != nil {
 		span.SetAttr("scenarios", set.Len())
 	}
-	ds, err := profiler.CollectContext(ctx, p.cfg.Machine, set, p.cfg.Jobs, p.cfg.Metrics, p.cfg.Profile)
+	c, err := profiler.NewCollector(p.cfg.Machine, set, p.cfg.Jobs, p.cfg.Metrics, p.cfg.Profile)
 	if err != nil {
 		return fmt.Errorf("core: profiling: %w", err)
 	}
+	ds, err := c.Collect(ctx)
+	if err != nil {
+		return fmt.Errorf("core: profiling: %w", err)
+	}
+	p.collector = c
 	p.dataset = ds
 	p.analysis = nil // invalidate any previous analysis
+	p.inc = nil
+	p.det = nil
 	return nil
 }
 
@@ -130,6 +148,91 @@ func (p *Pipeline) AnalyzeContext(ctx context.Context) error {
 	span.SetAttr("clusters", an.Clustering.K)
 	span.SetAttr("principal_components", an.PCA.NumPC)
 	p.analysis = an
+	p.inc = nil // tick state re-derives lazily from the new baseline
+	p.det = nil
+	return nil
+}
+
+// Tick is TickContext with a background context.
+func (p *Pipeline) Tick(changed []int) error {
+	return p.TickContext(context.Background(), changed)
+}
+
+// TickContext incrementally refreshes the pipeline after the scenario
+// population evolved: scenarios appended to the profiled set since the
+// last Profile/Tick are measured for the first time, and the listed
+// already-measured scenarios are re-measured in place. Where a full
+// Profile+Analyze costs O(population), a tick costs O(delta): only the
+// touched scenarios are evaluated, the PCA is re-fit from running
+// moments, and the clustering is folded forward from the previous
+// centroids (see analyzer.Incremental).
+//
+// When the touched scenarios drift away from the population the
+// representatives were extracted from (internal/drift's novelty test
+// against the frozen analysis) — or the incremental analyzer's own
+// invariants break — the analysis falls back to a deterministic full
+// rebuild, byte-identical to Analyze on the same data. Ticks before
+// Analyze just extend the dataset; Profile must have been called.
+func (p *Pipeline) TickContext(ctx context.Context, changed []int) error {
+	if p.collector == nil {
+		return errors.New("core: Tick called before Profile")
+	}
+	ctx, span := obs.StartSpan(ctx, "pipeline.tick")
+	defer span.End()
+	span.SetAttr("changed", len(changed))
+
+	touched, err := p.collector.Tick(ctx, changed)
+	if err != nil {
+		return fmt.Errorf("core: tick profiling: %w", err)
+	}
+	span.SetAttr("touched", len(touched))
+	if p.analysis == nil || len(touched) == 0 {
+		return nil
+	}
+
+	if p.inc == nil {
+		inc, err := analyzer.NewIncremental(p.analysis, p.cfg.Analyze)
+		if err != nil {
+			return fmt.Errorf("core: tick analysis: %w", err)
+		}
+		p.inc = inc
+	}
+	if p.det == nil {
+		det, err := drift.NewDetector(p.analysis, drift.DefaultQuantile)
+		if err != nil {
+			return fmt.Errorf("core: tick drift detector: %w", err)
+		}
+		p.det = det
+	}
+
+	// Drift gate: score the touched rows against the frozen analysis. A
+	// drifted delta invalidates the incremental approximation, so rebuild.
+	delta := linalg.NewMatrix(len(touched), p.dataset.Matrix.Cols())
+	for i, id := range touched {
+		copy(delta.RowView(i), p.dataset.Matrix.RowView(id))
+	}
+	rep, err := p.det.Assess(delta)
+	if err != nil {
+		return fmt.Errorf("core: tick drift assessment: %w", err)
+	}
+	span.SetAttr("drifted", rep.Drifted)
+
+	rebuilt := rep.Drifted
+	if rebuilt {
+		if err := p.inc.RebuildContext(ctx); err != nil {
+			return fmt.Errorf("core: tick: %w", err)
+		}
+	} else {
+		rebuilt, err = p.inc.TickContext(ctx, touched)
+		if err != nil {
+			return fmt.Errorf("core: tick: %w", err)
+		}
+	}
+	span.SetAttr("rebuilt", rebuilt)
+	p.analysis = p.inc.Analysis()
+	if rebuilt {
+		p.det = nil // recalibrate the novelty threshold on the new baseline
+	}
 	return nil
 }
 

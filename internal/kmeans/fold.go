@@ -1,0 +1,84 @@
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+
+	"flare/internal/mathx"
+)
+
+// Fold updates a converged clustering with a small set of new or changed
+// points instead of re-running Lloyd from scratch — FLARE's incremental
+// analysis path, where a profiler tick touches a handful of scenarios out
+// of hundreds.
+//
+// The update is the mini-batch k-means step (Sculley, WWW 2010): each
+// touched point pulls its nearest centroid toward itself with a
+// per-centroid learning rate 1/count, where counts continue from the
+// previous clustering's sizes so a long-lived centroid moves less than a
+// young one. A final assignment pass over all points rebuilds labels,
+// sizes, and SSE exactly. The whole call is deterministic — no RNG — and
+// costs O(|touched|*k*d + n*k*d), versus O(iters*restarts*n*k*d) for a
+// full Cluster.
+//
+// Fold tracks the optimum only while the population moves gently; the
+// caller is expected to watch a drift signal and fall back to a full
+// Cluster when the tick population no longer resembles the one the
+// centroids were fit on (the analyzer wires internal/drift for this).
+func Fold(prev *Result, points []mathx.Vector, touched []int) (*Result, error) {
+	if prev == nil || len(prev.Centroids) == 0 {
+		return nil, errors.New("kmeans: Fold requires a previous clustering")
+	}
+	if len(points) == 0 {
+		return nil, errors.New("kmeans: Fold requires points")
+	}
+	if len(points) < len(prev.Labels) {
+		return nil, fmt.Errorf("kmeans: Fold got %d points, previous clustering had %d", len(points), len(prev.Labels))
+	}
+	k := len(prev.Centroids)
+	dim := len(prev.Centroids[0])
+
+	centroids := make([]mathx.Vector, k)
+	counts := make([]int, k)
+	for c, cent := range prev.Centroids {
+		if len(cent) != dim {
+			return nil, fmt.Errorf("kmeans: centroid %d has %d dims, want %d", c, len(cent), dim)
+		}
+		centroids[c] = cent.Clone()
+		if c < len(prev.Sizes) {
+			counts[c] = prev.Sizes[c]
+		}
+	}
+
+	for _, i := range touched {
+		if i < 0 || i >= len(points) {
+			return nil, fmt.Errorf("kmeans: touched index %d out of range [0, %d)", i, len(points))
+		}
+		p := points[i]
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dim)
+		}
+		c := nearest(p, centroids)
+		counts[c]++
+		eta := 1 / float64(counts[c])
+		dst := centroids[c]
+		for j, v := range p {
+			dst[j] += eta * (v - dst[j])
+		}
+	}
+
+	res := &Result{
+		K:         k,
+		Centroids: centroids,
+		Labels:    make([]int, len(points)),
+		Sizes:     make([]int, k),
+		Iters:     1,
+	}
+	for i, p := range points {
+		c := nearest(p, centroids)
+		res.Labels[i] = c
+		res.Sizes[c]++
+		res.SSE += p.DistanceSq(centroids[c])
+	}
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package kmeans
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flare/internal/linalg"
+	"flare/internal/mathx"
+)
+
+// blobMatrix builds n points around k well-separated centres.
+func blobMatrix(rng *rand.Rand, n, k, dim int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		c := i % k
+		for j := 0; j < dim; j++ {
+			m.Set(i, j, float64(c*10)+rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestFoldTracksGentleUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := blobMatrix(rng, 120, 4, 3)
+	prev, err := Cluster(m, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nudge a few points within their blobs and append two new ones.
+	touched := []int{3, 50, 77}
+	for _, i := range touched {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] += rng.NormFloat64() * 0.1
+		}
+	}
+	m.GrowRows(2)
+	for i := m.Rows() - 2; i < m.Rows(); i++ {
+		c := i % 4
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = float64(c*10) + rng.NormFloat64()
+		}
+		touched = append(touched, i)
+	}
+
+	folded, err := Fold(prev, rowViews(m), touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.K != 4 || len(folded.Labels) != m.Rows() {
+		t.Fatalf("K=%d labels=%d, want 4 and %d", folded.K, len(folded.Labels), m.Rows())
+	}
+	var total int
+	for _, s := range folded.Sizes {
+		total += s
+	}
+	if total != m.Rows() {
+		t.Fatalf("sizes sum to %d, want %d", total, m.Rows())
+	}
+
+	// With well-separated blobs, folding must agree with a fresh Lloyd run
+	// on the partition itself (cluster memberships, up to relabelling).
+	fresh, err := Cluster(m, 4, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for l := 0; l < m.Rows(); l++ {
+			same := folded.Labels[i] == folded.Labels[l]
+			sameFresh := fresh.Labels[i] == fresh.Labels[l]
+			if same != sameFresh {
+				t.Fatalf("points %d,%d co-clustered=%v folded vs %v fresh", i, l, same, sameFresh)
+			}
+		}
+	}
+	if folded.SSE <= 0 {
+		t.Fatalf("SSE = %g, want positive", folded.SSE)
+	}
+}
+
+func TestFoldDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := blobMatrix(rng, 60, 3, 2)
+	prev, err := Cluster(m, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := []int{1, 2, 40}
+	a, err := Fold(prev, rowViews(m), touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fold(prev, rowViews(m), touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fold is not deterministic across identical calls")
+	}
+	// Fold must not mutate the previous result's centroids.
+	c, err := Cluster(m, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prev.Centroids, c.Centroids) {
+		t.Fatal("Fold mutated the previous clustering's centroids")
+	}
+}
+
+func TestFoldValidation(t *testing.T) {
+	points := []mathx.Vector{{0, 0}, {1, 1}, {5, 5}}
+	prev := &Result{
+		K:         2,
+		Centroids: []mathx.Vector{{0, 0}, {5, 5}},
+		Labels:    []int{0, 0, 1},
+		Sizes:     []int{2, 1},
+	}
+	if _, err := Fold(nil, points, nil); err == nil {
+		t.Error("nil previous clustering did not error")
+	}
+	if _, err := Fold(prev, nil, nil); err == nil {
+		t.Error("empty points did not error")
+	}
+	if _, err := Fold(prev, points[:2], nil); err == nil {
+		t.Error("shrinking population did not error")
+	}
+	if _, err := Fold(prev, points, []int{7}); err == nil {
+		t.Error("out-of-range touched index did not error")
+	}
+	if _, err := Fold(prev, []mathx.Vector{{0}, {1}, {2}}, []int{0}); err == nil {
+		t.Error("dimension mismatch did not error")
+	}
+}

@@ -108,6 +108,32 @@ func (m *Matrix) Col(j int) []float64 {
 	return out
 }
 
+// GrowRows appends n zero-filled rows in place, reusing the backing array
+// when capacity allows. The profiler's tick path uses it to extend a
+// dataset as the scenario population grows. Row views taken before the
+// call may be invalidated by reallocation.
+func (m *Matrix) GrowRows(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("linalg: GrowRows(%d) with negative count", n))
+	}
+	if n == 0 {
+		return
+	}
+	need := (m.rows + n) * m.cols
+	if cap(m.data) >= need {
+		grown := m.data[:need]
+		for i := m.rows * m.cols; i < need; i++ {
+			grown[i] = 0
+		}
+		m.data = grown
+	} else {
+		data := make([]float64, need)
+		copy(data, m.data)
+		m.data = data
+	}
+	m.rows += n
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.rows, m.cols)

@@ -136,3 +136,43 @@ func BadConditionalNeverEnded(ctx context.Context, traced bool) {
 	}
 	work()
 }
+
+// The streaming-profiler tick shape: tuple start with a deferred End,
+// attributes recorded up front, and an early no-op return before the
+// expensive phase — the deferred End covers every path.
+func GoodTickEarlyReturn(ctx context.Context, touched []int) ([]int, error) {
+	ctx, sp := StartCtx(ctx, "profiler.tick")
+	defer sp.End()
+	sp.SetAttr("touched", len(touched))
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	if work() {
+		return nil, context.Canceled
+	}
+	return touched, nil
+}
+
+// The two-phase collect shape: each phase helper owns its sub-span (the
+// parent span stays open across both calls via its own defer).
+func GoodSubStagePhases(ctx context.Context) {
+	ctx, sp := StartCtx(ctx, "profiler.collect")
+	defer sp.End()
+	goodPhase(ctx, "profiler.evaluate")
+	goodPhase(ctx, "profiler.reduce")
+}
+
+func goodPhase(ctx context.Context, name string) {
+	_, sp := StartCtx(ctx, name)
+	defer sp.End()
+	work()
+}
+
+func BadPhaseErrorPathLeak(ctx context.Context) error {
+	_, sp := StartCtx(ctx, "profiler.evaluate")
+	if work() {
+		return context.Canceled // want `return leaves span sp un-ended`
+	}
+	sp.End()
+	return nil
+}

@@ -82,6 +82,16 @@ type Def struct {
 type Catalog struct {
 	defs   []Def
 	byName map[string]int
+	names  []string // metric names in order, shared read-only with Vectors
+	// plan holds one compiled extraction op per metric so ExtractInto
+	// dispatches on integers instead of parsing names per call. Compiled
+	// once here; unknown names compile to an op that panics at extraction
+	// time, preserving the catalog/extractor lockstep guarantee.
+	plan []planEntry
+	// stdBase maps each variability ("-Std") metric to the catalog index
+	// of the base metric it summarises (-1 for non-Std metrics, or when
+	// the base is absent). The profiler's reduce phase consumes this.
+	stdBase []int
 }
 
 // NewCatalog builds a catalog, rejecting duplicate or empty names.
@@ -89,6 +99,7 @@ func NewCatalog(defs []Def) (*Catalog, error) {
 	c := &Catalog{
 		defs:   make([]Def, len(defs)),
 		byName: make(map[string]int, len(defs)),
+		names:  make([]string, len(defs)),
 	}
 	copy(c.defs, defs)
 	for i, d := range c.defs {
@@ -99,19 +110,34 @@ func NewCatalog(defs []Def) (*Catalog, error) {
 			return nil, fmt.Errorf("metrics: duplicate metric %q", d.Name)
 		}
 		c.byName[d.Name] = i
+		c.names[i] = d.Name
+	}
+	c.plan = make([]planEntry, len(c.defs))
+	c.stdBase = make([]int, len(c.defs))
+	for i, d := range c.defs {
+		c.plan[i] = compileDef(d)
+		c.stdBase[i] = -1
+		if base, ok := StdOf(d.Name); ok {
+			if j, exists := c.byName[base]; exists {
+				c.stdBase[i] = j
+			}
+		}
 	}
 	return c, nil
 }
+
+// StdBase returns the catalog index of the base metric a variability
+// ("-Std") metric summarises, or -1 if metric i is not a variability
+// metric (or its base is missing from the catalog).
+func (c *Catalog) StdBase(i int) int { return c.stdBase[i] }
 
 // Len returns the number of metrics.
 func (c *Catalog) Len() int { return len(c.defs) }
 
 // Names returns metric names in catalog order.
 func (c *Catalog) Names() []string {
-	out := make([]string, len(c.defs))
-	for i, d := range c.defs {
-		out[i] = d.Name
-	}
+	out := make([]string, len(c.names))
+	copy(out, c.names)
 	return out
 }
 

@@ -99,8 +99,8 @@ func evaluateMixed(t *testing.T) (machine.Config, perfmodel.Result) {
 }
 
 func TestExtractCoversWholeCatalog(t *testing.T) {
-	// levelValue panics on any metric without an extractor; this test is
-	// the lockstep guarantee between catalog and extractor.
+	// applyOp panics on any metric without an extractor; this test is
+	// the lockstep guarantee between catalog and the compiled op table.
 	c := DefaultCatalog()
 	cfg, res := evaluateMixed(t)
 	v := Extract(c, cfg, res)
@@ -311,4 +311,62 @@ func TestExtractIntoWrongLengthPanics(t *testing.T) {
 		}
 	}()
 	ExtractInto(make([]float64, c.Len()-1), c, cfg, res)
+}
+
+func TestExtractUnknownMetricPanics(t *testing.T) {
+	// A catalog may carry names with no extractor (it is just a list of
+	// defs), but extracting one must panic: the compiled plan marks them
+	// opUnknown at NewCatalog time and the panic fires at use, exactly
+	// like the old name-parsing switch.
+	c, err := NewCatalog([]Def{{Name: "NoSuchMetric-Machine", Level: LevelMachine}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, res := evaluateMixed(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown metric did not panic at extraction")
+		}
+	}()
+	Extract(c, cfg, res)
+}
+
+func TestCatalogStdBase(t *testing.T) {
+	c, err := WithVariability(DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := c.Index("MIPS-Machine-Std")
+	if i < 0 {
+		t.Fatal("missing MIPS-Machine-Std")
+	}
+	if got, want := c.StdBase(i), c.Index("MIPS-Machine"); got != want {
+		t.Errorf("StdBase(MIPS-Machine-Std) = %d, want %d", got, want)
+	}
+	if got := c.StdBase(c.Index("MIPS-Machine")); got != -1 {
+		t.Errorf("StdBase of a non-Std metric = %d, want -1", got)
+	}
+	// A Std twin whose base is absent resolves to -1; the profiler turns
+	// that into an error instead of a panic.
+	orphan, err := NewCatalog([]Def{{Name: "Ghost-Machine-Std", Level: LevelMachine}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := orphan.StdBase(0); got != -1 {
+		t.Errorf("StdBase of orphan Std metric = %d, want -1", got)
+	}
+}
+
+func TestExtractIntoSteadyStateAllocs(t *testing.T) {
+	// The profiler calls ExtractInto once per sample; with the compiled
+	// plan and the shared name list it must not allocate at all.
+	c := DefaultCatalog()
+	cfg, res := evaluateMixed(t)
+	dst := make([]float64, c.Len())
+	allocs := testing.AllocsPerRun(50, func() {
+		ExtractInto(dst, c, cfg, res)
+	})
+	if allocs != 0 {
+		t.Errorf("ExtractInto allocates %.0f objects per call, want 0", allocs)
+	}
 }

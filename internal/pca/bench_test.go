@@ -3,6 +3,8 @@ package pca
 import (
 	"math/rand"
 	"testing"
+
+	"flare/internal/linalg"
 )
 
 // BenchmarkFitPaperScale fits a PCA at the paper's problem size
@@ -32,6 +34,34 @@ func BenchmarkTransformPaperScale(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mod.Transform(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCAUpdate measures one incremental analysis step at paper
+// scale: fold a changed row into the running moments (rank-1 Replace)
+// and re-fit the model from them. This is the O(d^2) + eigensolve tick
+// cost that replaces the O(n*d^2) batch standardise-and-covariance pass
+// of Fit.
+func BenchmarkPCAUpdate(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	m := lowRankMatrix(r, 895, 85, 18, 0.2)
+	rc := linalg.RunningCovFromMatrix(m)
+	oldRow := append([]float64(nil), m.RowView(7)...)
+	newRow := make([]float64, len(oldRow))
+	for j := range newRow {
+		newRow[j] = oldRow[j] + 0.1*r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			rc.Replace(oldRow, newRow)
+		} else {
+			rc.Replace(newRow, oldRow)
+		}
+		if _, err := FitFromMoments(rc, DefaultVarianceTarget); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -91,9 +91,50 @@ func FitWorkers(m *linalg.Matrix, varianceTarget float64, workers int) (*Model, 
 	if err != nil {
 		return nil, fmt.Errorf("pca: %w", err)
 	}
-	eig, err := linalg.SymmetricEigen(cov)
+	if err := mod.finish(cov, varianceTarget); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// FitFromMoments fits a PCA from running raw moments instead of a data
+// matrix: the eigendecomposition runs on the correlation matrix derived
+// from the accumulator, which equals the covariance of the standardised
+// data FitWorkers builds (population normalisation throughout). The
+// incremental analyzer uses it to turn a profiler tick into an O(d^2)
+// moment update plus one O(d^3) eigensolve, with no pass over history.
+// Agreement with FitWorkers on the same observations is within ordinary
+// floating-point accumulation error (~1e-9, pinned by tests), not
+// byte-exact.
+func FitFromMoments(rc *linalg.RunningCov, varianceTarget float64) (*Model, error) {
+	if rc == nil {
+		return nil, errors.New("pca: nil moment accumulator")
+	}
+	if varianceTarget <= 0 || varianceTarget > 1 {
+		return nil, fmt.Errorf("pca: variance target %v outside (0, 1]", varianceTarget)
+	}
+	if rc.N() < 2 {
+		return nil, errors.New("pca: need at least 2 observations")
+	}
+	// The 1e-12 epsilon matches FitWorkers' zero-std centring convention.
+	corr, stds, err := rc.Correlation(1e-12)
 	if err != nil {
 		return nil, fmt.Errorf("pca: %w", err)
+	}
+	mod := &Model{Means: rc.Mean(), Stds: stds}
+	if err := mod.finish(corr, varianceTarget); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// finish eigendecomposes the covariance of the standardised data and
+// fills the component basis, explained-variance shares, and the selected
+// component count.
+func (mod *Model) finish(cov *linalg.Matrix, varianceTarget float64) error {
+	eig, err := linalg.SymmetricEigen(cov)
+	if err != nil {
+		return fmt.Errorf("pca: %w", err)
 	}
 
 	var total float64
@@ -103,7 +144,7 @@ func FitWorkers(m *linalg.Matrix, varianceTarget float64, workers int) (*Model, 
 		}
 	}
 	if total <= 0 {
-		return nil, errors.New("pca: input has zero total variance")
+		return errors.New("pca: input has zero total variance")
 	}
 
 	mod.Components = eig.Vectors
@@ -123,7 +164,7 @@ func FitWorkers(m *linalg.Matrix, varianceTarget float64, workers int) (*Model, 
 			break
 		}
 	}
-	return mod, nil
+	return nil
 }
 
 // Transform projects observations (rows of m, in the original metric

@@ -232,3 +232,103 @@ func TestVarianceTargetMonotoneProperty(t *testing.T) {
 		prev = mod.NumPC
 	}
 }
+
+// TestFitFromMomentsMatchesFitWorkers pins the equivalence that makes
+// incremental analysis exact in exact arithmetic: PCA over standardised
+// data equals the eigendecomposition of the correlation matrix built from
+// running raw moments.
+func TestFitFromMomentsMatchesFitWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	m := lowRankMatrix(r, 120, 14, 5, 0.3)
+	// A constant column exercises the zero-std centre-only convention.
+	for i := 0; i < m.Rows(); i++ {
+		m.Set(i, 3, 7)
+	}
+
+	batch, err := Fit(m, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := FitFromMoments(linalg.RunningCovFromMatrix(m), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.NumPC != batch.NumPC {
+		t.Fatalf("NumPC = %d incremental vs %d batch", inc.NumPC, batch.NumPC)
+	}
+	const tol = 1e-9
+	for j := range batch.Means {
+		if d := math.Abs(inc.Means[j] - batch.Means[j]); d > tol {
+			t.Fatalf("mean[%d] differs by %g", j, d)
+		}
+		if d := math.Abs(inc.Stds[j] - batch.Stds[j]); d > tol {
+			t.Fatalf("std[%d] differs by %g", j, d)
+		}
+	}
+	for k := 0; k < batch.NumPC; k++ {
+		if d := math.Abs(inc.Explained[k] - batch.Explained[k]); d > tol {
+			t.Fatalf("explained[%d] differs by %g", k, d)
+		}
+		for j := range batch.Components[k] {
+			if d := math.Abs(inc.Components[k][j] - batch.Components[k][j]); d > 1e-7 {
+				t.Fatalf("component[%d][%d] differs by %g", k, j, d)
+			}
+		}
+	}
+}
+
+// TestFitFromMomentsAfterUpdates checks that a moment accumulator updated
+// with Replace/Add ticks fits the same model a fresh batch fit over the
+// final data would.
+func TestFitFromMomentsAfterUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m := lowRankMatrix(r, 90, 10, 4, 0.4)
+	rc := linalg.RunningCovFromMatrix(m)
+
+	for _, i := range []int{2, 41, 88} {
+		old := m.Row(i)
+		row := m.RowView(i)
+		for j := range row {
+			row[j] += r.NormFloat64() * 0.5
+		}
+		rc.Replace(old, row)
+	}
+
+	inc, err := FitFromMoments(rc, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Fit(m, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumPC != batch.NumPC {
+		t.Fatalf("NumPC = %d incremental vs %d batch", inc.NumPC, batch.NumPC)
+	}
+	for k := 0; k < batch.NumPC; k++ {
+		for j := range batch.Components[k] {
+			if d := math.Abs(inc.Components[k][j] - batch.Components[k][j]); d > 1e-7 {
+				t.Fatalf("component[%d][%d] differs by %g after ticks", k, j, d)
+			}
+		}
+	}
+}
+
+func TestFitFromMomentsValidation(t *testing.T) {
+	if _, err := FitFromMoments(nil, 0.95); err == nil {
+		t.Error("nil accumulator did not error")
+	}
+	rc := linalg.NewRunningCov(3)
+	if _, err := FitFromMoments(rc, 0.95); err == nil {
+		t.Error("empty accumulator did not error")
+	}
+	rc.Add([]float64{1, 2, 3})
+	rc.Add([]float64{4, 5, 6})
+	if _, err := FitFromMoments(rc, 0); err == nil {
+		t.Error("zero variance target did not error")
+	}
+	if _, err := FitFromMoments(rc, 1.5); err == nil {
+		t.Error("variance target > 1 did not error")
+	}
+}

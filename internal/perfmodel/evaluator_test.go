@@ -1,0 +1,183 @@
+package perfmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flare/internal/machine"
+	"flare/internal/workload"
+)
+
+func testAssignments(t *testing.T, names ...string) []Assignment {
+	t.Helper()
+	cat := workload.DefaultCatalog()
+	out := make([]Assignment, 0, len(names))
+	for i, n := range names {
+		p, err := cat.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Assignment{Profile: p, Instances: i + 1})
+	}
+	return out
+}
+
+// TestEvaluatorMatchesEvaluate pins the core contract the profiler's fast
+// path is built on: Begin + Relax once + N×ResultInto with a shared RNG
+// draws the exact same noise sequence — and therefore produces the exact
+// same bytes — as N independent Evaluate calls on that RNG. (With no
+// activity factors the relaxation is deterministic, so re-relaxing per
+// sample is pure waste; this test is the licence to skip it.)
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	jobs := testAssignments(t, workload.DataCaching, workload.Mcf, workload.WebSearch)
+
+	const samples = 5
+	opts := Options{NoiseStd: 0.05}
+
+	rngA := rand.New(rand.NewSource(99))
+	var want []Result
+	for s := 0; s < samples; s++ {
+		o := opts
+		o.Rand = rngA
+		res, err := Evaluate(cfg, jobs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	ev, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Begin(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Relax(nil); err != nil {
+		t.Fatal(err)
+	}
+	rngB := rand.New(rand.NewSource(99))
+	for s := 0; s < samples; s++ {
+		var got Result
+		o := opts
+		o.Rand = rngB
+		if err := ev.ResultInto(&got, o); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[s]) {
+			t.Fatalf("sample %d: Evaluator result differs from Evaluate", s)
+		}
+	}
+}
+
+// TestEvaluatorActivityMatchesEvaluate checks the phase-enabled path:
+// per-sample Relax(factors) + ResultInto equals Evaluate with the same
+// ActivityFactors.
+func TestEvaluatorActivityMatchesEvaluate(t *testing.T) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	jobs := testAssignments(t, workload.MediaStreaming, workload.Sjeng)
+
+	ev, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Begin(jobs); err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	for _, factors := range [][]float64{{1.2, 0.8}, {0.6, 1.4}, nil} {
+		want, err := Evaluate(cfg, jobs, Options{ActivityFactors: factors})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Relax(factors); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.ResultInto(&got, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("factors %v: Evaluator result differs from Evaluate", factors)
+		}
+	}
+}
+
+// TestEvaluatorReuseAcrossColocations checks that a recycled evaluator
+// (larger job set, then smaller) leaves no state behind.
+func TestEvaluatorReuseAcrossColocations(t *testing.T) {
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	ev, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range [][]Assignment{
+		testAssignments(t, workload.DataCaching, workload.Mcf, workload.WebSearch),
+		testAssignments(t, workload.Sjeng),
+		testAssignments(t, workload.MediaStreaming, workload.DataCaching),
+	} {
+		want, err := Evaluate(cfg, jobs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Begin(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Relax(nil); err != nil {
+			t.Fatal(err)
+		}
+		var got Result
+		if err := ev.ResultInto(&got, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d-job colocation: recycled Evaluator differs from Evaluate", len(jobs))
+		}
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	bad := machine.BaselineConfig(machine.DefaultShape())
+	bad.LLCMB = -1
+	if _, err := NewEvaluator(bad); err == nil {
+		t.Error("invalid config did not error")
+	}
+
+	cfg := machine.BaselineConfig(machine.DefaultShape())
+	ev, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Relax(nil); err == nil {
+		t.Error("Relax before Begin did not error")
+	}
+	var res Result
+	if err := ev.ResultInto(&res, Options{}); err == nil {
+		t.Error("ResultInto before Relax did not error")
+	}
+	if err := ev.Begin(nil); err == nil {
+		t.Error("empty job set did not error")
+	}
+	jobs := testAssignments(t, workload.DataCaching)
+	if err := ev.Begin(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.ResultInto(&res, Options{}); err == nil {
+		t.Error("ResultInto before Relax (after Begin) did not error")
+	}
+	if err := ev.Relax([]float64{1, 1}); err != nil {
+		// Length mismatch must error, not panic.
+	} else {
+		t.Error("mismatched activity factors did not error")
+	}
+	if err := ev.Relax([]float64{-1}); err == nil {
+		t.Error("negative activity factor did not error")
+	}
+	if err := ev.Relax(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.ResultInto(&res, Options{NoiseStd: 0.1}); err == nil {
+		t.Error("NoiseStd without Rand did not error")
+	}
+}

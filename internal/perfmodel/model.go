@@ -180,29 +180,14 @@ func Evaluate(cfg machine.Config, jobs []Assignment, opts Options) (Result, erro
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("perfmodel: invalid config: %w", err)
 	}
-	if len(jobs) == 0 {
-		return Result{}, errors.New("perfmodel: no jobs to evaluate")
+	if err := validateJobs(jobs); err != nil {
+		return Result{}, err
 	}
 	if opts.NoiseStd > 0 && opts.Rand == nil {
 		return Result{}, errors.New("perfmodel: NoiseStd > 0 requires Options.Rand")
 	}
-	for _, a := range jobs {
-		if a.Instances <= 0 {
-			return Result{}, fmt.Errorf("perfmodel: job %s has non-positive instance count %d", a.Profile.Name, a.Instances)
-		}
-		if err := a.Profile.Validate(); err != nil {
-			return Result{}, fmt.Errorf("perfmodel: %w", err)
-		}
-	}
-	if opts.ActivityFactors != nil {
-		if len(opts.ActivityFactors) != len(jobs) {
-			return Result{}, fmt.Errorf("perfmodel: %d activity factors for %d jobs", len(opts.ActivityFactors), len(jobs))
-		}
-		for i, f := range opts.ActivityFactors {
-			if f <= 0 {
-				return Result{}, fmt.Errorf("perfmodel: non-positive activity factor %v for job %s", f, jobs[i].Profile.Name)
-			}
-		}
+	if err := validateActivity(jobs, opts.ActivityFactors); err != nil {
+		return Result{}, err
 	}
 
 	st := newState(cfg, jobs, opts.ActivityFactors)
@@ -244,7 +229,7 @@ type calib struct {
 // (streaming access) and its effective latency calibrates lower.
 func calibrate(shape machine.Shape, p workload.Profile) calib {
 	fullLLC := shape.TotalLLCMB()
-	soloMPKI := p.LLCAPKI * missRatio(p, fullLLC) // solo job owns the whole LLC
+	soloMPKI := p.LLCAPKI * missRatio(&p, fullLLC) // solo job owns the whole LLC
 	cpiTotal := 1 / p.BaseIPC
 	freq := shape.MaxFreqGHz
 
@@ -265,8 +250,9 @@ func calibrate(shape machine.Shape, p workload.Profile) calib {
 }
 
 // missRatio evaluates the exponential miss-ratio curve of p for an
-// allocated capacity of allocMB.
-func missRatio(p workload.Profile, allocMB float64) float64 {
+// allocated capacity of allocMB. It takes the profile by pointer because
+// the relaxation loop calls it per job per iteration.
+func missRatio(p *workload.Profile, allocMB float64) float64 {
 	if allocMB < 0 {
 		allocMB = 0
 	}

@@ -11,10 +11,24 @@ import (
 // synthesising the counter values a profiler would report and applying
 // optional measurement noise.
 func (st *state) result(opts Options) Result {
-	res := Result{Jobs: make([]JobPerf, len(st.jobs))}
+	var res Result
+	st.resultInto(&res, opts)
+	return res
+}
 
-	for i, a := range st.jobs {
-		p := a.Profile
+// resultInto is result writing into a caller-provided Result, reusing its
+// Jobs slice so repeated materialisations of one relaxed state (the
+// profiler's noisy samples) allocate nothing in steady state.
+func (st *state) resultInto(res *Result, opts Options) {
+	if cap(res.Jobs) < len(st.jobs) {
+		res.Jobs = make([]JobPerf, len(st.jobs))
+	} else {
+		res.Jobs = res.Jobs[:len(st.jobs)]
+	}
+
+	for i := range st.jobs {
+		a := &st.jobs[i]
+		p := &a.Profile
 		freq := st.cfg.MaxFreqGHz
 		stall := st.stallCPI(i, freq)
 		cpi := st.cal[i].cpiExe + stall
@@ -61,7 +75,6 @@ func (st *state) result(opts Options) Result {
 	}
 
 	res.Machine = st.aggregate(res.Jobs)
-	return res
 }
 
 // topdown redistributes the profile's base top-down fractions under the
@@ -111,7 +124,8 @@ func (st *state) aggregate(jobs []JobPerf) MachinePerf {
 	var m MachinePerf
 	var instrWeight float64 // total MIPS across instances, the weight basis
 
-	for _, jp := range jobs {
+	for i := range jobs {
+		jp := &jobs[i]
 		n := float64(jp.Instances)
 		total := jp.MIPS * n
 		m.TotalMIPS += total

@@ -10,6 +10,8 @@ import (
 
 // state carries the fixed-point iteration over the mutually dependent
 // quantities: per-job throughput, LLC allocation, and bandwidth pressure.
+// A state is reusable: load/applyActivity regrow the per-job slices in
+// place, so a long-lived Evaluator amortises the buffers across calls.
 type state struct {
 	cfg      machine.Config
 	jobs     []Assignment
@@ -24,41 +26,74 @@ type state struct {
 	allocMB []float64 // per-instance LLC allocation
 	mpki    []float64 // per-job LLC MPKI under current allocation
 	mips    []float64 // per-instance MIPS under current conditions
+	access  []float64 // scratch: per-job LLC access rate during relaxation
+	nInst   int       // total instance count across jobs (fixed per load)
 	bwUtil  float64   // memory bandwidth utilisation
 	latInfl float64   // memory latency inflation from bandwidth pressure
 }
 
-func newState(cfg machine.Config, jobs []Assignment, activity []float64) *state {
-	st := &state{
-		cfg:       cfg,
-		jobs:      jobs,
-		cal:       make([]calib, len(jobs)),
-		activity:  make([]float64, len(jobs)),
-		smtFac:    make([]float64, len(jobs)),
-		netFactor: make([]float64, len(jobs)),
-		dskFactor: make([]float64, len(jobs)),
-		allocMB:   make([]float64, len(jobs)),
-		mpki:      make([]float64, len(jobs)),
-		mips:      make([]float64, len(jobs)),
-		latInfl:   1,
+// growF returns s resized to n elements, reusing its backing array when
+// possible. Contents are unspecified; every caller overwrites them.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	for i, a := range jobs {
-		st.cal[i] = calibrate(cfg.Shape, a.Profile)
+	return s[:n]
+}
+
+// load binds the state to a colocation: per-job calibration and the
+// activity-independent shares (CPU time, SMT). applyActivity must run
+// before relax/result.
+func (st *state) load(cfg machine.Config, jobs []Assignment) {
+	st.cfg = cfg
+	st.jobs = jobs
+	n := len(jobs)
+	if cap(st.cal) < n {
+		st.cal = make([]calib, n)
+	} else {
+		st.cal = st.cal[:n]
+	}
+	st.activity = growF(st.activity, n)
+	st.smtFac = growF(st.smtFac, n)
+	st.netFactor = growF(st.netFactor, n)
+	st.dskFactor = growF(st.dskFactor, n)
+	st.allocMB = growF(st.allocMB, n)
+	st.mpki = growF(st.mpki, n)
+	st.mips = growF(st.mips, n)
+	st.access = growF(st.access, n)
+	for i := range jobs {
+		st.cal[i] = calibrate(cfg.Shape, jobs[i].Profile)
+	}
+	st.nInst = totalInstances(jobs)
+	st.computeCPUShare()
+	st.computeSMTFactors()
+}
+
+// applyActivity sets the per-job load multipliers (nil means nominal) and
+// re-derives everything downstream of them: I/O throttles and the initial
+// fixed-point guess (even LLC split, solo-style throughput).
+func (st *state) applyActivity(activity []float64) {
+	for i := range st.jobs {
 		st.activity[i] = 1
 		if activity != nil {
 			st.activity[i] = activity[i]
 		}
 	}
-	st.computeCPUShare()
-	st.computeSMTFactors()
 	st.computeIOFactors()
-	// Initial guess: even LLC split, solo-style throughput.
-	even := cfg.LLCMB / float64(totalInstances(jobs))
-	for i, a := range jobs {
+	st.latInfl = 1
+	even := st.cfg.LLCMB / float64(st.nInst)
+	for i := range st.jobs {
+		p := &st.jobs[i].Profile
 		st.allocMB[i] = even
-		st.mpki[i] = a.Profile.LLCAPKI * missRatio(a.Profile, even)
+		st.mpki[i] = p.LLCAPKI * missRatio(p, even)
 		st.mips[i] = st.instanceMIPS(i)
 	}
+}
+
+func newState(cfg machine.Config, jobs []Assignment, activity []float64) *state {
+	st := &state{}
+	st.load(cfg, jobs)
+	st.applyActivity(activity)
 	return st
 }
 
@@ -75,7 +110,7 @@ func totalInstances(jobs []Assignment) int {
 // when a scenario recorded on a big machine is replayed on a smaller
 // configuration (Sec 5.5) or when SMT-off halves the vCPU count.
 func (st *state) computeCPUShare() {
-	demand := totalInstances(st.jobs) * workload.InstanceVCPUs
+	demand := st.nInst * workload.InstanceVCPUs
 	avail := st.cfg.VCPUs()
 	if demand <= avail {
 		st.cpuShare = 1
@@ -96,7 +131,7 @@ func (st *state) computeSMTFactors() {
 		}
 		return
 	}
-	used := float64(totalInstances(st.jobs) * workload.InstanceVCPUs)
+	used := float64(st.nInst * workload.InstanceVCPUs)
 	avail := float64(st.cfg.VCPUs())
 	if used > avail {
 		used = avail
@@ -169,8 +204,9 @@ func (st *state) relax() {
 // job's miss ratio from its miss-ratio curve.
 func (st *state) updateLLCAllocation() {
 	var totalAccess float64
-	access := make([]float64, len(st.jobs))
-	for i, a := range st.jobs {
+	access := st.access // state-owned scratch; relax runs this every round
+	for i := range st.jobs {
+		a := &st.jobs[i]
 		// Accesses/sec per instance = MIPS(M instr/s) * APKI (per k instr).
 		rate := st.mips[i] * a.Profile.LLCAPKI
 		if rate < 1e-9 {
@@ -179,11 +215,12 @@ func (st *state) updateLLCAllocation() {
 		access[i] = rate
 		totalAccess += rate * float64(a.Instances)
 	}
-	floor := llcFloorFrac * st.cfg.LLCMB / float64(totalInstances(st.jobs))
-	for i, a := range st.jobs {
+	floor := llcFloorFrac * st.cfg.LLCMB / float64(st.nInst)
+	for i := range st.jobs {
+		p := &st.jobs[i].Profile
 		share := access[i] / totalAccess
 		st.allocMB[i] = floor + (1-llcFloorFrac)*st.cfg.LLCMB*share
-		st.mpki[i] = a.Profile.LLCAPKI * missRatio(a.Profile, st.allocMB[i])
+		st.mpki[i] = p.LLCAPKI * missRatio(p, st.allocMB[i])
 	}
 }
 
@@ -204,8 +241,8 @@ func (st *state) updateBandwidth() {
 // totalBWGBps returns aggregate DRAM traffic under the current estimates.
 func (st *state) totalBWGBps() float64 {
 	var bw float64
-	for i, a := range st.jobs {
-		bw += st.jobBWGBps(i) * float64(a.Instances)
+	for i := range st.jobs {
+		bw += st.jobBWGBps(i) * float64(st.jobs[i].Instances)
 	}
 	return bw
 }

@@ -1,0 +1,97 @@
+package profiler
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/metrics"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchVal  *scenario.Set
+	benchErr  error
+)
+
+// benchSet simulates the 10-day trace the pipeline-stage benchmarks use,
+// so the collect numbers here line up with profiler.collect-ms in
+// results/BENCH_stages.json.
+func benchSet(b *testing.B) *scenario.Set {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := dcsim.DefaultConfig()
+		cfg.Duration = 10 * 24 * time.Hour
+		var trace *dcsim.Trace
+		trace, benchErr = dcsim.Run(cfg)
+		if benchErr == nil {
+			benchVal = trace.Scenarios
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchVal
+}
+
+func benchCollector(b *testing.B, set *scenario.Set) *Collector {
+	b.Helper()
+	c, err := NewCollector(
+		machine.BaselineConfig(machine.DefaultShape()),
+		set,
+		workload.DefaultCatalog(),
+		metrics.DefaultCatalog(),
+		DefaultOptions(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkProfilerCollect measures a full batch collection (every
+// scenario, every sample) — the O(history) reference cost.
+func BenchmarkProfilerCollect(b *testing.B) {
+	set := benchSet(b)
+	c := benchCollector(b, set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Collect(b.Context()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(set.Len()), "scenarios")
+}
+
+// BenchmarkProfilerTick measures a datacenter tick that re-measures 1%
+// of the population — the O(delta) steady-state cost. The ratio of
+// BenchmarkProfilerCollect to this benchmark is the incremental speedup
+// (acceptance floor: 10x).
+func BenchmarkProfilerTick(b *testing.B) {
+	set := benchSet(b)
+	c := benchCollector(b, set)
+	if _, err := c.Collect(b.Context()); err != nil {
+		b.Fatal(err)
+	}
+	delta := set.Len() / 100
+	if delta == 0 {
+		delta = 1
+	}
+	changed := make([]int, delta)
+	for i := range changed {
+		changed[i] = i * (set.Len() / delta)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Tick(b.Context(), changed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(delta), "changed")
+}

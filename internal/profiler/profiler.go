@@ -7,7 +7,18 @@
 // "measured" by evaluating the contention model several times with
 // measurement noise and averaging — the same pipeline shape (noisy
 // periodic samples -> per-scenario mean) with the testbed replaced by the
-// model. Scenarios are profiled concurrently by a bounded worker pool.
+// model.
+//
+// Collection is streaming and columnar: a Collector owns struct-of-arrays
+// sample buffers (one contiguous column per metric) that are reused
+// across ticks. Measurement runs in two phases under the collect span —
+// "profiler.evaluate" fans scenarios out over a bounded worker pool and
+// writes samples straight into the columns, and "profiler.reduce" folds
+// the columns into per-scenario means and stddevs. After the initial
+// Collect, Tick re-measures only the delta (new scenarios plus explicitly
+// changed ones), so steady-state re-profiling is O(delta), not
+// O(history): per-scenario RNG substreams make the tick sequence
+// byte-identical to a from-scratch Collect.
 package profiler
 
 import (
@@ -17,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +42,11 @@ import (
 	"flare/internal/stats"
 	"flare/internal/workload"
 )
+
+// scenarioPrime derives each scenario's deterministic RNG substream from
+// the collection seed, so results are independent of worker interleaving
+// and a re-measured scenario reproduces its bytes exactly.
+const scenarioPrime = 7919
 
 // Options controls a collection run.
 type Options struct {
@@ -86,12 +103,49 @@ func Collect(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
 }
 
 // CollectContext is Collect with span tracing: a "profiler.collect" span
-// records the worker-pool fan-out (scenario count, workers, samples), and
-// the per-scenario measurement count lands in the default registry.
+// wraps the evaluate/reduce sub-stages, and the per-scenario measurement
+// count lands in the default registry.
 func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 	jobs *workload.Catalog, cat *metrics.Catalog, opts Options) (*Dataset, error) {
-	if set == nil || set.Len() == 0 {
-		return nil, errors.New("profiler: empty scenario set")
+	c, err := NewCollector(cfg, set, jobs, cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Collect(ctx)
+}
+
+// Collector owns the reusable state of a streaming profiling run: the
+// dataset being grown and the columnar sample buffers shared across
+// ticks. Methods are not safe for concurrent use; the internal worker
+// pool provides the parallelism.
+type Collector struct {
+	cfg  machine.Config
+	jobs *workload.Catalog
+	opts Options
+
+	ds *Dataset
+
+	// cols is the struct-of-arrays sample buffer: cols[j] holds metric
+	// j's samples for every scenario, scenario id's samples contiguous at
+	// [id*S, (id+1)*S). Columns are reused (and grown) across ticks.
+	cols [][]float64
+
+	// stdBase[j] is the base column a "-Std" variability column reduces
+	// from, or -1 for plain mean columns (resolved once from the catalog).
+	stdBase []int
+
+	// measured is how many scenario IDs have been profiled; IDs >=
+	// measured are new since the last Collect/Tick.
+	measured int
+}
+
+// NewCollector validates the inputs and prepares an empty collector bound
+// to the scenario set. The set may keep growing afterwards: Collect
+// profiles everything currently in it, Tick profiles the delta.
+func NewCollector(cfg machine.Config, set *scenario.Set, jobs *workload.Catalog,
+	cat *metrics.Catalog, opts Options) (*Collector, error) {
+	if set == nil {
+		return nil, errors.New("profiler: nil scenario set")
 	}
 	if jobs == nil || cat == nil {
 		return nil, errors.New("profiler: nil catalog")
@@ -102,30 +156,156 @@ func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("profiler: %w", err)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	c := &Collector{
+		cfg:     cfg,
+		jobs:    jobs,
+		opts:    opts,
+		cols:    make([][]float64, cat.Len()),
+		stdBase: make([]int, cat.Len()),
 	}
-
-	_, span := obs.StartSpan(ctx, "profiler.collect")
-	defer span.End()
-	span.SetAttr("scenarios", set.Len())
-	span.SetAttr("workers", workers)
-	span.SetAttr("samples_per_scenario", opts.SamplesPerScenario)
-
-	ds := &Dataset{
+	names := cat.Names()
+	for j := 0; j < cat.Len(); j++ {
+		c.stdBase[j] = cat.StdBase(j)
+		if _, isStd := metrics.StdOf(names[j]); isStd && c.stdBase[j] < 0 {
+			return nil, fmt.Errorf("profiler: variability metric %s has no base column", names[j])
+		}
+	}
+	c.ds = &Dataset{
 		Scenarios: set,
 		Catalog:   cat,
 		Config:    cfg,
-		Matrix:    linalg.NewMatrix(set.Len(), cat.Len()),
-		JobMIPS:   make([]map[string]float64, set.Len()),
 	}
+	return c, nil
+}
 
+// Dataset returns the dataset the collector is growing. It is valid after
+// the first successful Collect or Tick.
+func (c *Collector) Dataset() *Dataset { return c.ds }
+
+// Collect profiles every scenario currently in the set — the full batch
+// build, and the golden reference the tick path is tested against.
+func (c *Collector) Collect(ctx context.Context) (*Dataset, error) {
+	set := c.ds.Scenarios
+	if set.Len() == 0 {
+		return nil, errors.New("profiler: empty scenario set")
+	}
+	ctx, span := obs.StartSpan(ctx, "profiler.collect")
+	defer span.End()
+	span.SetAttr("scenarios", set.Len())
+	span.SetAttr("workers", c.workers())
+	span.SetAttr("samples_per_scenario", c.opts.SamplesPerScenario)
+
+	ids := make([]int, set.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := c.measure(ctx, ids); err != nil {
+		return nil, err
+	}
+	return c.ds, nil
+}
+
+// Tick profiles the delta after a datacenter tick: every scenario added
+// to the set since the last Collect/Tick, plus the explicitly listed
+// already-measured IDs (re-measured byte-identically from their own RNG
+// substreams). It returns the sorted IDs that were (re)profiled. Cost is
+// O(len(touched)), not O(set.Len()).
+func (c *Collector) Tick(ctx context.Context, changed []int) (touched []int, err error) {
+	set := c.ds.Scenarios
+	ctx, span := obs.StartSpan(ctx, "profiler.tick")
+	defer span.End()
+
+	seen := make(map[int]bool, len(changed))
+	for _, id := range changed {
+		if id < 0 || id >= c.measured {
+			return nil, fmt.Errorf("profiler: changed scenario %d out of measured range [0,%d)", id, c.measured)
+		}
+		if !seen[id] {
+			seen[id] = true
+			touched = append(touched, id)
+		}
+	}
+	for id := c.measured; id < set.Len(); id++ {
+		touched = append(touched, id)
+	}
+	sort.Ints(touched)
+	span.SetAttr("new", set.Len()-c.measured)
+	span.SetAttr("changed", len(seen))
+	span.SetAttr("touched", len(touched))
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	if err := c.measure(ctx, touched); err != nil {
+		return nil, err
+	}
+	return touched, nil
+}
+
+// workers resolves the effective worker-pool size.
+func (c *Collector) workers() int {
+	if c.opts.Workers > 0 {
+		return c.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// measure runs the two-phase collection for the given scenario IDs:
+// evaluate (model + extract into the sample columns, worker pool) then
+// reduce (columns -> matrix rows, sequential and deterministic).
+func (c *Collector) measure(ctx context.Context, ids []int) error {
+	c.grow()
+	if err := c.evaluatePhase(ctx, ids); err != nil {
+		return err
+	}
+	c.reducePhase(ctx, ids)
+	c.measured = c.ds.Scenarios.Len()
+	obs.Default().Counter("flare_profiler_scenarios_total",
+		"scenarios measured by the profiler").Add(uint64(len(ids)))
+	obs.Default().Counter("flare_profiler_samples_total",
+		"noisy per-scenario measurements taken by the profiler").
+		Add(uint64(len(ids)) * uint64(c.opts.SamplesPerScenario))
+	return nil
+}
+
+// grow extends the dataset matrix, the JobMIPS ledger, and the sample
+// columns to cover every scenario currently in the set.
+func (c *Collector) grow() {
+	n := c.ds.Scenarios.Len()
+	cat := c.ds.Catalog
+	if c.ds.Matrix == nil {
+		c.ds.Matrix = linalg.NewMatrix(n, cat.Len())
+	} else if add := n - c.ds.Matrix.Rows(); add > 0 {
+		c.ds.Matrix.GrowRows(add)
+	}
+	for len(c.ds.JobMIPS) < n {
+		c.ds.JobMIPS = append(c.ds.JobMIPS, nil)
+	}
+	rows := n * c.opts.SamplesPerScenario
+	for j := range c.cols {
+		if cap(c.cols[j]) < rows {
+			grown := make([]float64, rows)
+			copy(grown, c.cols[j])
+			c.cols[j] = grown
+		} else {
+			c.cols[j] = c.cols[j][:rows]
+		}
+	}
+}
+
+// evaluatePhase fans the scenario IDs out over the worker pool; each
+// worker evaluates the contention model and writes samples directly into
+// the columnar buffers.
+func (c *Collector) evaluatePhase(ctx context.Context, ids []int) error {
+	_, span := obs.StartSpan(ctx, "profiler.evaluate")
+	defer span.End()
+	span.SetAttr("scenarios", len(ids))
+
+	workers := c.workers()
 	// Workers never stop consuming, even after a failure — otherwise the
 	// unbuffered feed below would block the producer once every worker
 	// had exited on error. The first error wins; later work is skipped.
 	var (
-		ids      = make(chan int)
+		feed     = make(chan int)
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
@@ -135,15 +315,21 @@ func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-worker scratch: sample and column buffers are reused
-			// across every scenario this worker profiles, so the
-			// steady-state loop allocates only per-scenario outputs.
-			sc := newScratch(opts.SamplesPerScenario, ds.Catalog.Len())
-			for id := range ids {
+			// Per-worker scratch: the model evaluator, RNG, and row
+			// buffer are reused across every scenario this worker
+			// profiles, so the steady-state loop is allocation-free.
+			scr, err := c.newScratch()
+			if err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					failed.Store(true)
+				})
+			}
+			for id := range feed {
 				if failed.Load() {
 					continue // drain without working
 				}
-				if err := ds.profileOne(id, jobs, opts, sc); err != nil {
+				if err := c.profileOne(id, scr); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
 						failed.Store(true)
@@ -152,105 +338,129 @@ func CollectContext(ctx context.Context, cfg machine.Config, set *scenario.Set,
 			}
 		}()
 	}
-	for id := 0; id < set.Len(); id++ {
-		ids <- id
+	for _, id := range ids {
+		feed <- id
 	}
-	close(ids)
+	close(feed)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	obs.Default().Counter("flare_profiler_scenarios_total",
-		"scenarios measured by the profiler").Add(uint64(set.Len()))
-	obs.Default().Counter("flare_profiler_samples_total",
-		"noisy per-scenario measurements taken by the profiler").
-		Add(uint64(set.Len()) * uint64(opts.SamplesPerScenario))
-	return ds, nil
+	return firstErr
 }
 
-// scratch holds one worker's reusable profiling buffers: per-sample
-// metric vectors (one flat backing array) and the cross-sample column
-// used for the variability metrics.
+// reducePhase folds each touched scenario's sample columns into its
+// matrix row: means for plain metrics, cross-sample stddevs for the
+// variability twins. Sequential, so reduction order never depends on the
+// worker count.
+func (c *Collector) reducePhase(ctx context.Context, ids []int) {
+	_, span := obs.StartSpan(ctx, "profiler.reduce")
+	defer span.End()
+	span.SetAttr("scenarios", len(ids))
+
+	s := c.opts.SamplesPerScenario
+	n := float64(s)
+	for _, id := range ids {
+		base := id * s
+		row := c.ds.Matrix.RowView(id)
+		for j := range c.cols {
+			if b := c.stdBase[j]; b >= 0 {
+				row[j] = stats.StdDev(c.cols[b][base : base+s])
+				continue
+			}
+			var sum float64
+			for _, x := range c.cols[j][base : base+s] {
+				sum += x
+			}
+			row[j] = sum / n
+		}
+	}
+}
+
+// scratch holds one worker's reusable profiling state.
 type scratch struct {
-	samples [][]float64
-	col     []float64
+	ev      *perfmodel.Evaluator
+	src     *splitMix
+	rng     *rand.Rand
+	row     []float64 // one extracted sample, scattered into the columns
 	factors []float64
+	assign  []perfmodel.Assignment
+	res     perfmodel.Result
 }
 
-func newScratch(samplesPerScenario, catalogLen int) *scratch {
-	flat := make([]float64, samplesPerScenario*catalogLen)
-	sc := &scratch{
-		samples: make([][]float64, samplesPerScenario),
-		col:     make([]float64, samplesPerScenario),
+func (c *Collector) newScratch() (*scratch, error) {
+	ev, err := perfmodel.NewEvaluator(c.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
 	}
-	for s := range sc.samples {
-		sc.samples[s] = flat[s*catalogLen : (s+1)*catalogLen : (s+1)*catalogLen]
-	}
-	return sc
+	src := &splitMix{}
+	return &scratch{
+		ev:  ev,
+		src: src,
+		rng: rand.New(src),
+		row: make([]float64, c.ds.Catalog.Len()),
+	}, nil
 }
 
-// profileOne measures one scenario: SamplesPerScenario noisy evaluations,
-// averaged per metric and per job. The scratch buffers carry no state
-// between scenarios; every cell is overwritten before it is read.
-func (ds *Dataset) profileOne(id int, jobs *workload.Catalog, opts Options, scr *scratch) error {
-	sc, err := ds.Scenarios.Get(id)
+// profileOne measures one scenario: SamplesPerScenario noisy evaluations
+// written into the sample columns, plus the per-job MIPS ledger. The
+// deterministic relaxation runs once when phases are disabled (every
+// sample would converge to the same state); only the noisy result
+// materialisation repeats. With phases enabled each sample re-relaxes
+// under its drawn activity factors, preserving the RNG draw order.
+func (c *Collector) profileOne(id int, scr *scratch) error {
+	sc, err := c.ds.Scenarios.Get(id)
 	if err != nil {
 		return err
 	}
-	assignments, err := Assignments(sc, jobs)
+	scr.assign, err = assignmentsInto(scr.assign[:0], sc, c.jobs)
 	if err != nil {
 		return err
 	}
 
 	// Per-scenario deterministic substream: results are independent of
-	// scheduling order across workers.
-	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+	// scheduling order across workers, and a re-measured scenario
+	// reproduces its bytes exactly.
+	scr.src.seed(c.opts.Seed + int64(id)*scenarioPrime)
 
-	samples := scr.samples
-	sumMIPS := make(map[string]float64, len(assignments))
-	for s := 0; s < opts.SamplesPerScenario; s++ {
-		res, err := perfmodel.Evaluate(ds.Config, assignments, perfmodel.Options{
-			NoiseStd:        opts.NoiseStd,
-			Rand:            rng,
-			ActivityFactors: phaseFactorsInto(&scr.factors, assignments, opts.PhaseStd, rng),
-		})
-		if err != nil {
+	if err := scr.ev.Begin(scr.assign); err != nil {
+		return fmt.Errorf("profiler: scenario %d: %w", id, err)
+	}
+	jm := c.ds.JobMIPS[id]
+	if jm == nil {
+		jm = make(map[string]float64, len(scr.assign))
+		c.ds.JobMIPS[id] = jm
+	} else {
+		clear(jm)
+	}
+
+	s := c.opts.SamplesPerScenario
+	base := id * s
+	relaxed := false
+	for i := 0; i < s; i++ {
+		factors := phaseFactorsInto(&scr.factors, scr.assign, c.opts.PhaseStd, scr.rng)
+		if factors != nil || !relaxed {
+			if err := scr.ev.Relax(factors); err != nil {
+				return fmt.Errorf("profiler: scenario %d: %w", id, err)
+			}
+			relaxed = true
+		}
+		if err := scr.ev.ResultInto(&scr.res, perfmodel.Options{
+			NoiseStd: c.opts.NoiseStd,
+			Rand:     scr.rng,
+		}); err != nil {
 			return fmt.Errorf("profiler: scenario %d: %w", id, err)
 		}
-		metrics.ExtractInto(samples[s], ds.Catalog, ds.Config, res)
-		for _, j := range res.Jobs {
-			sumMIPS[j.Job] += j.MIPS
+		metrics.ExtractInto(scr.row, c.ds.Catalog, c.ds.Config, scr.res)
+		for j, x := range scr.row {
+			c.cols[j][base+i] = x
+		}
+		for k := range scr.res.Jobs {
+			jp := &scr.res.Jobs[k]
+			jm[jp.Job] += jp.MIPS
 		}
 	}
-
-	n := float64(opts.SamplesPerScenario)
-	names := ds.Catalog.Names()
-	col := scr.col
-	for i, name := range names {
-		baseIdx := i
-		if base, isStd := metrics.StdOf(name); isStd {
-			baseIdx = ds.Catalog.Index(base)
-			if baseIdx < 0 {
-				return fmt.Errorf("profiler: variability metric %s has no base column", name)
-			}
-			for s := range samples {
-				col[s] = samples[s][baseIdx]
-			}
-			ds.Matrix.Set(id, i, stats.StdDev(col))
-			continue
-		}
-		var sum float64
-		for s := range samples {
-			sum += samples[s][baseIdx]
-		}
-		ds.Matrix.Set(id, i, sum/n)
+	n := float64(s)
+	for job := range jm {
+		jm[job] /= n
 	}
-
-	jm := make(map[string]float64, len(sumMIPS))
-	for job, x := range sumMIPS {
-		jm[job] = x / n
-	}
-	ds.JobMIPS[id] = jm
 	return nil
 }
 
@@ -275,15 +485,19 @@ func phaseFactorsInto(buf *[]float64, assignments []perfmodel.Assignment, phaseS
 
 // Assignments resolves a scenario's placements against the job catalog.
 func Assignments(sc scenario.Scenario, jobs *workload.Catalog) ([]perfmodel.Assignment, error) {
-	out := make([]perfmodel.Assignment, 0, len(sc.Placements))
+	return assignmentsInto(make([]perfmodel.Assignment, 0, len(sc.Placements)), sc, jobs)
+}
+
+// assignmentsInto is Assignments appending into a reusable buffer.
+func assignmentsInto(buf []perfmodel.Assignment, sc scenario.Scenario, jobs *workload.Catalog) ([]perfmodel.Assignment, error) {
 	for _, p := range sc.Placements {
 		prof, err := jobs.Lookup(p.Job)
 		if err != nil {
 			return nil, fmt.Errorf("profiler: scenario %d: %w", sc.ID, err)
 		}
-		out = append(out, perfmodel.Assignment{Profile: prof, Instances: p.Instances})
+		buf = append(buf, perfmodel.Assignment{Profile: prof, Instances: p.Instances})
 	}
-	return out, nil
+	return buf, nil
 }
 
 // MetricColumn returns the dataset column for the named metric.

@@ -1,0 +1,174 @@
+package profiler
+
+import (
+	"reflect"
+	"testing"
+
+	"flare/internal/machine"
+	"flare/internal/metrics"
+	"flare/internal/scenario"
+	"flare/internal/workload"
+)
+
+func newTestCollector(t *testing.T, set *scenario.Set, opts Options) *Collector {
+	t.Helper()
+	c, err := NewCollector(
+		machine.BaselineConfig(machine.DefaultShape()),
+		set,
+		workload.DefaultCatalog(),
+		metrics.DefaultCatalog(),
+		opts,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func requireIdenticalDatasets(t *testing.T, a, b *Dataset, label string) {
+	t.Helper()
+	if a.Matrix.Rows() != b.Matrix.Rows() || a.Matrix.Cols() != b.Matrix.Cols() {
+		t.Fatalf("%s: matrix %dx%d vs %dx%d", label, a.Matrix.Rows(), a.Matrix.Cols(), b.Matrix.Rows(), b.Matrix.Cols())
+	}
+	for i := 0; i < a.Matrix.Rows(); i++ {
+		for j := 0; j < a.Matrix.Cols(); j++ {
+			if a.Matrix.At(i, j) != b.Matrix.At(i, j) {
+				t.Fatalf("%s: cell (%d,%d) differs: %v vs %v", label, i, j, a.Matrix.At(i, j), b.Matrix.At(i, j))
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.JobMIPS, b.JobMIPS) {
+		t.Fatalf("%s: JobMIPS differ", label)
+	}
+}
+
+// TestTickMatchesBatchCollect is the profiler's golden equivalence: a
+// prefix collection followed by ticks that append the rest of the
+// population produces a byte-identical dataset to one batch collection of
+// everything — the per-scenario RNG substreams make measurement
+// independent of when a scenario is measured.
+func TestTickMatchesBatchCollect(t *testing.T) {
+	full := testSet(t)
+	all := full.All()
+	if len(all) < 10 {
+		t.Fatalf("test set has %d scenarios, want at least 10", len(all))
+	}
+	batch := collect(t, full, DefaultOptions())
+
+	grown := scenario.NewSet()
+	for _, sc := range all[:len(all)/2] {
+		grown.Add(sc)
+	}
+	c := newTestCollector(t, grown, DefaultOptions())
+	if _, err := c.Collect(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two ticks: first the third quarter, then the remainder.
+	for _, stop := range []int{3 * len(all) / 4, len(all)} {
+		before := grown.Len()
+		for _, sc := range all[:stop] {
+			grown.Add(sc) // duplicates dedup to their existing IDs
+		}
+		touched, err := c.Tick(t.Context(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(touched) != grown.Len()-before {
+			t.Fatalf("tick touched %d scenarios, want %d new", len(touched), grown.Len()-before)
+		}
+	}
+	requireIdenticalDatasets(t, c.Dataset(), batch, "ticked vs batch")
+}
+
+// TestTickRemeasureReproducesBytes re-measures existing scenarios: the
+// per-scenario substream restarts, so the bytes must come out identical.
+func TestTickRemeasureReproducesBytes(t *testing.T) {
+	set := testSet(t)
+	c := newTestCollector(t, set, DefaultOptions())
+	ds, err := c.Collect(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := ds.Matrix.Clone()
+
+	changed := []int{0, 2, set.Len() - 1}
+	touched, err := c.Tick(t.Context(), changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(touched, changed) {
+		t.Fatalf("touched = %v, want %v", touched, changed)
+	}
+	for i := 0; i < ds.Matrix.Rows(); i++ {
+		for j := 0; j < ds.Matrix.Cols(); j++ {
+			if ds.Matrix.At(i, j) != snapshot.At(i, j) {
+				t.Fatalf("re-measured cell (%d,%d) changed: %v vs %v", i, j, ds.Matrix.At(i, j), snapshot.At(i, j))
+			}
+		}
+	}
+}
+
+// TestTickDeterministicAcrossWorkerCounts extends the W=1-vs-N guarantee
+// to the streaming path: the same tick sequence under different worker
+// counts yields byte-identical datasets.
+func TestTickDeterministicAcrossWorkerCounts(t *testing.T) {
+	full := testSet(t)
+	all := full.All()
+	prefix := len(all) - len(all)/4
+
+	run := func(workers int) *Dataset {
+		set := scenario.NewSet()
+		for _, sc := range all[:prefix] {
+			set.Add(sc)
+		}
+		opts := DefaultOptions()
+		opts.Workers = workers
+		c := newTestCollector(t, set, opts)
+		if _, err := c.Collect(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range all {
+			set.Add(sc)
+		}
+		// Appends the rest and re-measures two existing scenarios at once.
+		if _, err := c.Tick(t.Context(), []int{1, prefix - 1}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Dataset()
+	}
+
+	requireIdenticalDatasets(t, run(1), run(8), "workers 1 vs 8")
+}
+
+func TestTickValidation(t *testing.T) {
+	set := testSet(t)
+	c := newTestCollector(t, set, DefaultOptions())
+	if _, err := c.Collect(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Tick(t.Context(), []int{set.Len()}); err == nil {
+		t.Error("changed ID beyond measured population did not error")
+	}
+	if _, err := c.Tick(t.Context(), []int{-1}); err == nil {
+		t.Error("negative changed ID did not error")
+	}
+
+	touched, err := c.Tick(t.Context(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != nil {
+		t.Errorf("no-op tick touched %v, want nil", touched)
+	}
+
+	// Duplicate changed IDs dedup to one measurement.
+	touched, err = c.Tick(t.Context(), []int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(touched, []int{3}) {
+		t.Errorf("touched = %v, want [3]", touched)
+	}
+}

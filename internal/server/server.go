@@ -8,6 +8,7 @@
 //	GET /api/pcs                       high-level metric interpretations
 //	GET /api/scenarios[?job=DC]        the scenario population (optionally filtered)
 //	GET /api/estimate?feature=feature1[&job=DC]   impact estimate (cached)
+//	POST /api/tick                     fold a datacenter tick into the pipeline
 //	GET /api/plan                      portable replay plan
 //	GET /api/db/tables                 metric database tables + schemas (with AttachDB)
 //	GET /api/db/query?table=samples    metric database rows (paged, filterable)
@@ -65,6 +66,11 @@ type Server struct {
 
 	opts Options       // resilience settings; see SetResilience
 	sem  chan struct{} // concurrency limiter; nil = unlimited
+
+	// pmu guards the pipeline: read handlers and estimate computations
+	// hold it shared, while /api/tick holds it exclusively to fold a
+	// datacenter tick into the dataset and analysis in place.
+	pmu sync.RWMutex
 
 	mu       sync.Mutex
 	cache    map[string]*estimateEntry
@@ -190,6 +196,7 @@ func (s *Server) Handler() http.Handler {
 	api("/api/pcs", s.handlePCs)
 	api("/api/scenarios", s.handleScenarios)
 	api("/api/estimate", s.handleEstimate)
+	api("/api/tick", s.handleTick)
 	api("/api/plan", s.handlePlan)
 	api("/api/db/tables", s.handleDBTables)
 	api("/api/db/query", s.handleDBQuery)
@@ -301,7 +308,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	s.pmu.RLock()
 	plan, err := replayer.NewPlan(s.pipeline.Analysis(), s.pipeline.Machine().Shape)
+	s.pmu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "building plan: %v", err)
 		return
@@ -359,13 +368,14 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
-	an := s.pipeline.Analysis()
 	names := make([]string, 0, len(s.features))
 	for name := range s.features {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	writeJSON(w, http.StatusOK, summaryResponse{
+	s.pmu.RLock()
+	an := s.pipeline.Analysis()
+	resp := summaryResponse{
 		Scenarios:       an.Dataset.Scenarios.Len(),
 		RawMetrics:      an.Dataset.Catalog.Len(),
 		RefinedMetrics:  len(an.RefinedNames),
@@ -374,7 +384,9 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		MachineShape:    s.pipeline.Machine().Shape.Name,
 		Features:        names,
 		Representatives: len(an.Representatives),
-	})
+	}
+	s.pmu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // representativeResponse is one representative scenario.
@@ -390,11 +402,13 @@ func (s *Server) handleRepresentatives(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	s.pmu.RLock()
 	an := s.pipeline.Analysis()
 	out := make([]representativeResponse, 0, len(an.Representatives))
 	for _, rep := range an.Representatives {
 		sc, err := an.Dataset.Scenarios.Get(rep.ScenarioID)
 		if err != nil {
+			s.pmu.RUnlock()
 			writeError(w, http.StatusInternalServerError, "resolving scenario %d: %v", rep.ScenarioID, err)
 			return
 		}
@@ -406,6 +420,7 @@ func (s *Server) handleRepresentatives(w http.ResponseWriter, r *http.Request) {
 			Members:    len(rep.Ranked),
 		})
 	}
+	s.pmu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -420,6 +435,7 @@ func (s *Server) handlePCs(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	s.pmu.RLock()
 	an := s.pipeline.Analysis()
 	out := make([]pcResponse, 0, len(an.Labels))
 	for _, lbl := range an.Labels {
@@ -429,6 +445,7 @@ func (s *Server) handlePCs(w http.ResponseWriter, r *http.Request) {
 			Interpretation: lbl.Interpretation,
 		})
 	}
+	s.pmu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -446,6 +463,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := r.URL.Query().Get("job")
+	s.pmu.RLock()
 	an := s.pipeline.Analysis()
 	var out []scenarioResponse
 	for _, sc := range an.Dataset.Scenarios.All() {
@@ -460,6 +478,7 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 			Cluster:   an.Clustering.Labels[sc.ID],
 		})
 	}
+	s.pmu.RUnlock()
 	if job != "" && len(out) == 0 {
 		writeError(w, http.StatusNotFound, "no scenario contains job %q", job)
 		return
@@ -535,7 +554,9 @@ func (e *estimateEntry) compute(s *Server, feat machine.Feature, job, key string
 		return
 	}
 	if job == "" {
+		s.pmu.RLock()
 		est, err := s.pipeline.EvaluateFeatureContext(ctx, feat)
+		s.pmu.RUnlock()
 		if err != nil {
 			e.evict = true
 			e.status = http.StatusInternalServerError
@@ -545,7 +566,9 @@ func (e *estimateEntry) compute(s *Server, feat machine.Feature, job, key string
 		e.resp.ReductionPct = est.ReductionPct
 		e.resp.ScenariosReplayed = est.ScenariosReplayed
 	} else {
+		s.pmu.RLock()
 		est, err := s.pipeline.EvaluateFeatureForJobContext(ctx, feat, job)
+		s.pmu.RUnlock()
 		if err != nil {
 			e.evict = true
 			e.status = http.StatusBadRequest

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/machine"
+	"flare/internal/scenario"
+)
+
+// newTickServer builds a server over its own pipeline (ticks mutate the
+// pipeline, so the shared fixture cannot be used), profiled on all but
+// the returned held-back scenarios.
+func newTickServer(t *testing.T, hold int) (*Server, []scenario.Scenario) {
+	t.Helper()
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Duration = 4 * 24 * time.Hour
+	simCfg.ResizesPerJobPerDay = 4
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := trace.Scenarios.All()
+	if len(all) <= hold+2 {
+		t.Fatalf("trace produced %d scenarios, need more than %d", len(all), hold+2)
+	}
+	set := scenario.NewSet()
+	for _, sc := range all[:len(all)-hold] {
+		set.Add(sc)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Analyze.Clusters = 8
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(set); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, machine.PaperFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, all[len(all)-hold:]
+}
+
+func postTick(t *testing.T, h http.Handler, body interface{}, wantStatus int, out interface{}) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/tick", &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST /api/tick = %d, want %d (body: %s)", rec.Code, wantStatus, rec.Body.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding tick response: %v", err)
+		}
+	}
+}
+
+func TestTickEndpoint(t *testing.T) {
+	s, held := newTickServer(t, 6)
+	h := s.Handler()
+	before := s.pipeline.Dataset().Scenarios.Len()
+
+	// Warm the estimate cache so the tick has something to invalidate.
+	var est estimateResponse
+	get(t, h, "/api/estimate?feature="+machine.PaperFeatures()[0].Name, http.StatusOK, &est)
+	if len(s.cache) == 0 {
+		t.Fatal("estimate did not populate the cache")
+	}
+
+	req := tickRequest{Changed: []int{0, 3}}
+	for _, sc := range held {
+		req.Scenarios = append(req.Scenarios, tickScenario{Placements: sc.Placements, Observed: sc.Observed})
+	}
+	var resp tickResponse
+	postTick(t, h, req, http.StatusOK, &resp)
+
+	if resp.Added != len(held) {
+		t.Errorf("added = %d, want %d", resp.Added, len(held))
+	}
+	if resp.Remeasured != 2 {
+		t.Errorf("remeasured = %d, want 2", resp.Remeasured)
+	}
+	if resp.Scenarios != before+len(held) {
+		t.Errorf("scenarios = %d, want %d", resp.Scenarios, before+len(held))
+	}
+	if resp.Representatives == 0 {
+		t.Error("tick response reports no representatives")
+	}
+
+	// The estimate cache was invalidated; lastGood survives as fallback.
+	s.mu.Lock()
+	cached, lastGood := len(s.cache), len(s.lastGood)
+	s.mu.Unlock()
+	if cached != 0 {
+		t.Errorf("estimate cache holds %d entries after tick, want 0", cached)
+	}
+	if lastGood == 0 {
+		t.Error("tick dropped the last-known-good estimates")
+	}
+
+	// The serving surface reflects the grown population immediately.
+	var sum summaryResponse
+	get(t, h, "/api/summary", http.StatusOK, &sum)
+	if sum.Scenarios != before+len(held) {
+		t.Errorf("summary scenarios = %d, want %d", sum.Scenarios, before+len(held))
+	}
+	var scs []scenarioResponse
+	get(t, h, "/api/scenarios", http.StatusOK, &scs)
+	if len(scs) != before+len(held) {
+		t.Errorf("scenario listing has %d entries, want %d", len(scs), before+len(held))
+	}
+	get(t, h, "/api/estimate?feature="+machine.PaperFeatures()[0].Name, http.StatusOK, &est)
+	if est.ReductionPct <= 0 {
+		t.Errorf("post-tick estimate %v, want positive", est.ReductionPct)
+	}
+
+	// A duplicate tick dedups onto existing IDs: nothing added, and
+	// re-measurement keeps the dataset byte-identical (exactness guarantee).
+	postTick(t, h, req, http.StatusOK, &resp)
+	if resp.Added != 0 {
+		t.Errorf("duplicate tick added %d scenarios, want 0", resp.Added)
+	}
+}
+
+func TestTickEndpointErrors(t *testing.T) {
+	s, _ := newTickServer(t, 2)
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/api/tick", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/tick = %d, want 405", rec.Code)
+	}
+
+	postTick(t, h, tickRequest{}, http.StatusBadRequest, nil)
+	postTick(t, h, tickRequest{
+		Scenarios: []tickScenario{{Placements: []scenario.Placement{{Job: "", Instances: 1}}}},
+	}, http.StatusBadRequest, nil)
+	postTick(t, h, tickRequest{Changed: []int{999999}}, http.StatusBadRequest, nil)
+	postTick(t, h, tickRequest{Changed: []int{-1}}, http.StatusBadRequest, nil)
+
+	// A scenario naming an unknown job must be rejected BEFORE it reaches
+	// the append-only set — once added it could never be profiled, and
+	// every later tick would fail on it.
+	before := s.pipeline.Dataset().Scenarios.Len()
+	postTick(t, h, tickRequest{
+		Scenarios: []tickScenario{{Placements: []scenario.Placement{{Job: "no-such-job", Instances: 1}}}},
+	}, http.StatusBadRequest, nil)
+	if got := s.pipeline.Dataset().Scenarios.Len(); got != before {
+		t.Errorf("rejected tick grew the population: %d -> %d", before, got)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/api/tick", bytes.NewBufferString("{not json"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", rec.Code)
+	}
+}
+
+// TestTickConcurrentWithEstimates exercises the pipeline lock: ticks and
+// estimate/summary reads race freely and must neither deadlock nor
+// corrupt state (run under -race in CI).
+func TestTickConcurrentWithEstimates(t *testing.T) {
+	s, held := newTickServer(t, 4)
+	h := s.Handler()
+	feat := machine.PaperFeatures()[0].Name
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/api/estimate?feature="+feat, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("estimate during tick = %d", rec.Code)
+					return
+				}
+				req = httptest.NewRequest(http.MethodGet, "/api/summary", nil)
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("summary during tick = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i, sc := range held {
+		tr := tickRequest{
+			Scenarios: []tickScenario{{Placements: sc.Placements, Observed: sc.Observed}},
+			Changed:   []int{i},
+		}
+		var resp tickResponse
+		postTick(t, h, tr, http.StatusOK, &resp)
+		if resp.Scenarios == 0 {
+			t.Fatal("tick reported empty population")
+		}
+	}
+	wg.Wait()
+
+	var sum summaryResponse
+	get(t, h, "/api/summary", http.StatusOK, &sum)
+	want := s.pipeline.Dataset().Scenarios.Len()
+	if sum.Scenarios != want {
+		t.Fatalf("summary scenarios = %d, want %d", sum.Scenarios, want)
+	}
+}
