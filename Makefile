@@ -90,8 +90,9 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Per-stage pipeline timings plus the metrics.Vector.Get and durable-
-# store micro-benchmarks, recorded under results/ so successive runs can
+# Per-stage pipeline timings plus the metrics.Vector.Get, durable-store,
+# and cluster (WAL-shipping, 3-node batch fan-out) micro-benchmarks,
+# recorded under results/ so successive runs can
 # be diffed (benchstat or plain diff) to catch stage-level regressions.
 # The same run is also rendered to machine-readable JSON (stage name ->
 # ns/op) for tooling.
@@ -109,6 +110,10 @@ bench-stages:
 	$(GO) test -run '^$$' -bench 'BenchmarkProfiler(Collect|Tick)$$' -benchtime 10x ./internal/profiler \
 		| tee -a results/bench-stages.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPCAUpdate$$' ./internal/pca \
+		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWALShip$$' ./internal/cluster \
+		| tee -a results/bench-stages.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterBatchEstimate$$' -benchtime 10x ./internal/server \
 		| tee -a results/bench-stages.txt
 	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
 		-out results/BENCH_stages.json

@@ -1,0 +1,267 @@
+// Command flare-cluster launches a sharded multi-node FLARE cluster in
+// one process: N flare-servers over one deterministically built
+// pipeline, joined on a consistent-hash ring, with node 0 leading
+// WAL-shipping replication of the durable metric store to every other
+// node.
+//
+// Usage:
+//
+//	flare-cluster [-nodes 3] [-base-port 8080] [-host 127.0.0.1]
+//	              [-days 14] [-clusters 18] [-seed 1] [-dir DIR] [-replicas 128]
+//	              [-fault-spec SPEC] [-fault-seed 1] [-log-level info] [-log-json]
+//
+// Node i serves HTTP on base-port+i. Every node answers every
+// endpoint; /api/estimate is routed to the feature's ring owner and
+// /api/estimate/batch fans out across the ring, so responses are
+// byte-identical no matter which node is asked — including while peers
+// are down, because deterministic pipelines make local fallback exact.
+// With -dir, node 0 opens the durable store at DIR/node-0 and streams
+// its WAL to followers replicating into DIR/node-i; follower lag is
+// visible in node 0's /api/health cluster section and in flare-top
+// -peers. Without -dir everything is in-memory and replication is off.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: HTTP servers
+// drain, follower loops stop, and the leader store flushes and closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"flare/internal/cluster"
+	"flare/internal/core"
+	"flare/internal/dcsim"
+	"flare/internal/fault"
+	"flare/internal/machine"
+	"flare/internal/metricdb"
+	"flare/internal/obs"
+	"flare/internal/profiler"
+	"flare/internal/retry"
+	"flare/internal/server"
+	"flare/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flare-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	nodes := flag.Int("nodes", 3, "cluster size")
+	basePort := flag.Int("base-port", 8080, "node i serves HTTP on base-port+i")
+	host := flag.String("host", "127.0.0.1", "interface the nodes bind")
+	days := flag.Int("days", 14, "simulated collection window in days")
+	clusters := flag.Int("clusters", 18, "representative count")
+	seed := flag.Int64("seed", 1, "random seed for the shared pipeline build")
+	dir := flag.String("dir", "", "durable store root; node 0 leads DIR/node-0, followers mirror into DIR/node-i (empty: in-memory)")
+	replicas := flag.Int("replicas", cluster.DefaultVirtualNodes,
+		"virtual-node replicas per node on the consistent-hash ring")
+	faultSpec := flag.String("fault-spec", "",
+		`inject deterministic faults, e.g. "cluster.peer.request=error@0.1" (see internal/fault)`)
+	faultSeed := flag.Int64("fault-seed", 1, "base fault seed; node i uses fault-seed+i")
+	logLevel := flag.String("log-level", "info", "minimum log severity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit one JSON object per log line instead of key=value text")
+	flag.Parse()
+
+	if *nodes < 1 {
+		return errors.New("-nodes must be at least 1")
+	}
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stdout, obs.LoggerOptions{Level: lv, JSON: *logJSON})
+
+	// One pipeline build serves every node: determinism is the cluster's
+	// correctness story, and the build is by far the slowest step.
+	logger.Info("building shared pipeline",
+		obs.KV("days", *days), obs.KV("clusters", *clusters), obs.KV("seed", *seed))
+	simCfg := dcsim.DefaultConfig()
+	simCfg.Seed = *seed
+	simCfg.Duration = time.Duration(*days) * 24 * time.Hour
+	trace, err := dcsim.Run(simCfg)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Profile.Seed = *seed
+	cfg.Analyze.Seed = *seed
+	cfg.Analyze.Clusters = *clusters
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := p.Profile(trace.Scenarios); err != nil {
+		return err
+	}
+	if err := p.Analyze(); err != nil {
+		return err
+	}
+	logger.Info("pipeline ready",
+		obs.KV("scenarios", trace.Scenarios.Len()),
+		obs.KV("representatives", len(p.Representatives())))
+
+	peers := make([]server.ClusterPeer, *nodes)
+	for i := range peers {
+		peers[i] = server.ClusterPeer{
+			Name: nodeName(i),
+			URL:  fmt.Sprintf("http://%s:%d", *host, *basePort+i),
+		}
+	}
+
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	var httpSrvs []*http.Server
+	var closers []func() // shutdown actions, run in reverse start order
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+	errCh := make(chan error, *nodes)
+
+	var shipper *cluster.Shipper
+	for i := 0; i < *nodes; i++ {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(reg)
+		var inj *fault.Injector
+		if *faultSpec != "" {
+			rules, err := fault.ParseSpec(*faultSpec)
+			if err != nil {
+				return err
+			}
+			inj, err = fault.New(rules, *faultSeed+int64(i), reg)
+			if err != nil {
+				return err
+			}
+		}
+
+		ccfg := server.ClusterConfig{
+			NodeID:       nodeName(i),
+			Peers:        peers,
+			VirtualNodes: *replicas,
+			Injector:     inj,
+		}
+		db := metricdb.NewDB()
+		switch {
+		case *dir != "" && i == 0:
+			// Leader: durable store, WAL shipped to every follower.
+			stOpts := store.DefaultOptions()
+			stOpts.Registry = reg
+			stOpts.Injector = inj
+			shipper = cluster.NewShipper(cluster.ShipperOptions{
+				Metrics: cluster.NewMetrics(reg), Injector: inj})
+			stOpts.Replicate = shipper.Record
+			st, err := store.Open(filepath.Join(*dir, nodeName(0)), stOpts)
+			if err != nil {
+				return err
+			}
+			shipper.Bind(st)
+			sh, s := shipper, st
+			closers = append(closers, func() {
+				sh.Close()
+				if err := s.Close(); err != nil {
+					logger.Warn("closing leader store", obs.KV("error", err.Error()))
+				}
+			})
+			if db, err = metricdb.OpenDB(st); err != nil {
+				return err
+			}
+			if !profiler.Stored(db) {
+				if err := p.PersistDataset(db); err != nil {
+					return err
+				}
+			}
+			ccfg.Role = "leader"
+			ccfg.ReplStatus = shipper.Followers
+		case *dir != "" && i > 0:
+			// Follower: mirror the leader's store over an in-process pipe.
+			fopts := cluster.FollowerOptions{Metrics: cluster.NewMetrics(reg), Injector: inj}
+			fopts.Store = store.DefaultOptions()
+			fopts.Store.Registry = reg
+			f, err := cluster.OpenFollower(filepath.Join(*dir, nodeName(i)), nodeName(i), fopts)
+			if err != nil {
+				return err
+			}
+			sh := shipper
+			dial := func(ctx context.Context) (io.ReadWriteCloser, error) {
+				leaderEnd, followerEnd := net.Pipe()
+				go func() {
+					_ = sh.ServeFollower(ctx, leaderEnd)
+					leaderEnd.Close()
+				}()
+				return followerEnd, nil
+			}
+			go f.RunLoop(replCtx, dial, retry.Policy{Name: "cluster.follow", Registry: reg})
+			closers = append(closers, func() {
+				if err := f.Close(); err != nil {
+					logger.Warn("closing replica", obs.KV("error", err.Error()))
+				}
+			})
+			ccfg.Role = "follower"
+			ccfg.ReplApplied = f.Applied
+		}
+
+		srv, err := server.NewWithTelemetry(p, machine.PaperFeatures(), reg, tracer)
+		if err != nil {
+			return err
+		}
+		srv.AttachDB(db)
+		srv.SetResilience(server.Options{
+			RequestTimeout:  30 * time.Second,
+			MaxConcurrent:   64,
+			EstimateRefresh: 15 * time.Minute,
+			Injector:        inj,
+		})
+		srv.SetLogger(obs.NewLogger(os.Stdout, obs.LoggerOptions{
+			Level: lv, JSON: *logJSON, Registry: reg}))
+		if err := srv.EnableCluster(ccfg); err != nil {
+			return err
+		}
+
+		hs := &http.Server{
+			Addr:              fmt.Sprintf("%s:%d", *host, *basePort+i),
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		httpSrvs = append(httpSrvs, hs)
+		go func(hs *http.Server, node string) {
+			logger.Info("node listening", obs.KV("node", node), obs.KV("addr", hs.Addr))
+			if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("%s: %w", node, err)
+			}
+		}(hs, nodeName(i))
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		logger.Info("shutting down", obs.KV("signal", sig.String()))
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, hs := range httpSrvs {
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Warn("shutdown", obs.KV("error", err.Error()))
+		}
+	}
+	replCancel()
+	return nil
+}
+
+func nodeName(i int) string { return fmt.Sprintf("node-%d", i) }

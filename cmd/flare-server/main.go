@@ -7,6 +7,19 @@
 //	             [-max-concurrent 64] [-request-timeout 30s] [-estimate-refresh 15m]
 //	             [-fault-spec SPEC] [-fault-seed 1]
 //	             [-log-level info] [-log-json] [-trace-retain 1024]
+//	             [-node-id NAME -peers NAME=URL,...] [-replicas 128]
+//	             [-repl-listen :9090 | -repl-follow HOST:9090]
+//
+// Cluster mode: -node-id plus -peers joins this server to a
+// consistent-hash ring of flare-servers. Estimates are routed to the
+// feature's owning shard (one hop at most; any failure falls back to
+// an identical local computation), /api/estimate/batch fans a feature
+// list out across the ring, and /api/health grows a "cluster" section.
+// With -db-dir, -repl-listen makes this node the replication leader —
+// followers connect and receive the store's WAL as it commits — while
+// -repl-follow makes it a follower replicating the leader's store into
+// -db-dir (the serving database is in-memory; the replica directory is
+// a byte-identical standby of the leader's).
 //
 // Endpoints: /healthz, /api/summary, /api/representatives, /api/pcs,
 // /api/scenarios[?job=DC], /api/estimate?feature=feature1[&job=DC],
@@ -52,12 +65,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"flare/internal/cluster"
 	"flare/internal/core"
 	"flare/internal/dcsim"
 	"flare/internal/fault"
@@ -65,6 +82,7 @@ import (
 	"flare/internal/metricdb"
 	"flare/internal/obs"
 	"flare/internal/profiler"
+	"flare/internal/retry"
 	"flare/internal/server"
 	"flare/internal/store"
 )
@@ -93,7 +111,26 @@ func run() error {
 	logJSON := flag.Bool("log-json", false, "emit one JSON object per log line instead of key=value text")
 	traceRetain := flag.Int("trace-retain", server.DefaultExportRetain,
 		"exported request traces kept in the metric database before the oldest are truncated")
+	nodeID := flag.String("node-id", "", "this node's name on the cluster ring (empty: single-node)")
+	peersFlag := flag.String("peers", "",
+		`cluster membership as comma-separated NAME=URL pairs including this node, e.g. "n0=http://h0:8080,n1=http://h1:8080"`)
+	replicas := flag.Int("replicas", cluster.DefaultVirtualNodes,
+		"virtual-node replicas per node on the consistent-hash ring")
+	replListen := flag.String("repl-listen", "",
+		"with -db-dir: lead replication, streaming the store's WAL to followers connecting here")
+	replFollow := flag.String("repl-follow", "",
+		"with -db-dir: follow the replication leader at this address, mirroring its store into -db-dir")
 	flag.Parse()
+
+	if *replListen != "" && *replFollow != "" {
+		return errors.New("-repl-listen and -repl-follow are mutually exclusive")
+	}
+	if (*replListen != "" || *replFollow != "") && *dbDir == "" {
+		return errors.New("replication needs -db-dir")
+	}
+	if (*nodeID == "") != (*peersFlag == "") {
+		return errors.New("-node-id and -peers must be set together")
+	}
 
 	lv, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -127,22 +164,72 @@ func run() error {
 	// the deferred close is a no-op after the explicit shutdown close.
 	var db *metricdb.DB
 	var st *store.Store
-	if *dbDir != "" {
+	var shipper *cluster.Shipper
+	var follower *cluster.Follower
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	switch {
+	case *replFollow != "":
+		// Follower: mirror the leader's store into -db-dir. The replica
+		// rejects direct writes, so the serving database stays in-memory
+		// while the directory tracks the leader byte for byte.
+		name := *nodeID
+		if name == "" {
+			name = "follower"
+		}
+		fopts := cluster.FollowerOptions{Metrics: cluster.NewMetrics(reg), Injector: inj}
+		fopts.Store = store.DefaultOptions()
+		var err error
+		follower, err = cluster.OpenFollower(*dbDir, name, fopts)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			replCancel()
+			if err := follower.Close(); err != nil {
+				logger.Warn("closing replica", obs.KV("error", err.Error()))
+			}
+		}()
+		dial := func(ctx context.Context) (io.ReadWriteCloser, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", *replFollow)
+		}
+		go follower.RunLoop(replCtx, dial, retry.Policy{Name: "cluster.follow", Registry: reg})
+		db = metricdb.NewDB()
+		logger.Info("following replication leader",
+			obs.KV("leader", *replFollow), obs.KV("dir", *dbDir))
+	case *dbDir != "":
 		stOpts := store.DefaultOptions()
 		stOpts.Injector = inj
+		if *replListen != "" {
+			shipper = cluster.NewShipper(cluster.ShipperOptions{
+				Metrics: cluster.NewMetrics(reg), Injector: inj})
+			stOpts.Replicate = shipper.Record
+		}
 		var err error
 		st, err = store.Open(*dbDir, stOpts)
 		if err != nil {
 			return err
 		}
 		defer st.Close()
+		if shipper != nil {
+			shipper.Bind(st)
+			defer shipper.Close()
+			ln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				return err
+			}
+			defer ln.Close()
+			go acceptFollowers(replCtx, ln, shipper, logger)
+			logger.Info("replication leader listening", obs.KV("addr", *replListen))
+		}
 		db, err = metricdb.OpenDB(st)
 		if err != nil {
 			return err
 		}
 		logger.Info("durable metric database open",
 			obs.KV("dir", *dbDir), obs.KV("segments", st.Stats().Segments))
-	} else {
+	default:
 		db = metricdb.NewDB()
 	}
 
@@ -205,6 +292,31 @@ func run() error {
 	if err := srv.EnableTraceExport(db, server.ExportOptions{Retain: *traceRetain}); err != nil {
 		return err
 	}
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		ccfg := server.ClusterConfig{
+			NodeID:       *nodeID,
+			Peers:        peers,
+			VirtualNodes: *replicas,
+			Injector:     inj,
+		}
+		if shipper != nil {
+			ccfg.Role = "leader"
+			ccfg.ReplStatus = shipper.Followers
+		}
+		if follower != nil {
+			ccfg.Role = "follower"
+			ccfg.ReplApplied = follower.Applied
+		}
+		if err := srv.EnableCluster(ccfg); err != nil {
+			return err
+		}
+		logger.Info("cluster enabled", obs.KV("node", *nodeID),
+			obs.KV("peers", len(peers)), obs.KV("vnodes", *replicas))
+	}
 	defer srv.CloseTelemetry()
 	// The request logger shares the process's output and feeds warn+
 	// events to the exporter so they land next to their traces in the
@@ -256,6 +368,10 @@ func run() error {
 	// then flush the memtable and close the WAL so the next start
 	// recovers instantly from segments.
 	srv.CloseTelemetry()
+	replCancel()
+	if shipper != nil {
+		shipper.Close()
+	}
 	if st != nil {
 		logger.Info("flushing metric store")
 		if err := st.Close(); err != nil {
@@ -263,4 +379,40 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// parsePeers parses the -peers grammar: comma-separated NAME=URL pairs.
+// The local node's URL may be empty ("n0=").
+func parsePeers(s string) ([]server.ClusterPeer, error) {
+	var peers []server.ClusterPeer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want NAME=URL", part)
+		}
+		peers = append(peers, server.ClusterPeer{Name: name, URL: strings.TrimRight(u, "/")})
+	}
+	return peers, nil
+}
+
+// acceptFollowers serves each connecting replication follower until the
+// listener closes at shutdown.
+func acceptFollowers(ctx context.Context, ln net.Listener, sh *cluster.Shipper, logger *obs.Logger) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			err := sh.ServeFollower(ctx, conn)
+			conn.Close()
+			if err != nil && !errors.Is(err, io.EOF) {
+				logger.Warn("replication session ended", obs.KV("error", err.Error()))
+			}
+		}()
+	}
 }

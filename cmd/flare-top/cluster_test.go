@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeNode serves canned /metrics and /api/health bodies.
+func fakeNode(t *testing.T, metrics, health string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, metrics)
+	})
+	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, health)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestParsePeersFlag(t *testing.T) {
+	peers, err := parsePeersFlag("n0=http://a:1, n1=http://b:2/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].name != "n0" || peers[1].url != "http://b:2" {
+		t.Errorf("parsed %+v", peers)
+	}
+	for _, bad := range []string{"", "justaname", "=http://x"} {
+		if _, err := parsePeersFlag(bad); err == nil {
+			t.Errorf("parsePeersFlag(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClusterOnceJSON polls a fake leader+follower pair and checks the
+// per-node rows and the rollup: roles, lag matched from the leader's
+// followers list, burn maxed, and an unreachable node kept visible.
+func TestClusterOnceJSON(t *testing.T) {
+	leader := fakeNode(t,
+		"flare_http_requests_total{route=\"/a\",code=\"200\"} 10\n",
+		`{"status":"ok","breaker":"closed","error_budget_burn":0.5,
+		  "cluster":{"node_id":"node-0","role":"leader",
+		    "peers":[{"name":"node-1","status":"ok"}],
+		    "followers":[{"name":"node-1","acked_seq":90,"lag_events":7}]}}`)
+	followerNode := fakeNode(t,
+		"flare_http_requests_total{route=\"/a\",code=\"200\"} 4\n",
+		`{"status":"degraded","breaker":"closed","error_budget_burn":2.25,
+		  "cluster":{"node_id":"node-1","role":"follower","repl_applied_seq":90}}`)
+
+	peersFlag := fmt.Sprintf("node-0=%s,node-1=%s,node-2=http://127.0.0.1:1",
+		leader.URL, followerNode.URL)
+	var buf bytes.Buffer
+	if err := run([]string{"-peers", peersFlag, "-once", "-json"}, &buf); err != nil {
+		t.Fatalf("flare-top -peers -once -json: %v", err)
+	}
+	var rep clusterReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(rep.Nodes))
+	}
+	if rep.Nodes[0].Role != "leader" || rep.Nodes[1].Role != "follower" {
+		t.Errorf("roles = %s/%s", rep.Nodes[0].Role, rep.Nodes[1].Role)
+	}
+	if rep.Nodes[1].LagEvents == nil || *rep.Nodes[1].LagEvents != 7 {
+		t.Errorf("follower lag = %v, want 7 (from the leader's view)", rep.Nodes[1].LagEvents)
+	}
+	if rep.Nodes[2].Health != "unreachable" || rep.Nodes[2].Error == "" {
+		t.Errorf("dead node row = %+v, want unreachable with error", rep.Nodes[2])
+	}
+	if rep.Rollup.Burn != 2.25 {
+		t.Errorf("rollup burn = %v, want max 2.25", rep.Rollup.Burn)
+	}
+	if rep.Rollup.Health != "unreachable" {
+		t.Errorf("rollup health = %q, want worst (unreachable)", rep.Rollup.Health)
+	}
+	if rep.Rollup.LagEvents == nil || *rep.Rollup.LagEvents != 7 {
+		t.Errorf("rollup lag = %v, want 7", rep.Rollup.LagEvents)
+	}
+}
+
+func TestClusterDashboardRenders(t *testing.T) {
+	leader := fakeNode(t,
+		"flare_http_requests_total 1\n",
+		`{"status":"ok","breaker":"closed",
+		  "cluster":{"node_id":"node-0","role":"leader",
+		    "followers":[{"name":"node-1","acked_seq":5,"lag_events":0}]}}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-peers", "node-0=" + leader.URL, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cluster of 1 nodes", "NODE", "ROLE", "REPL LAG", "leader", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once frame must not clear the terminal")
+	}
+}

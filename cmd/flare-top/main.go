@@ -8,7 +8,12 @@
 // Usage:
 //
 //	flare-top [-addr http://localhost:8080] [-interval 2s] [-spans 8]
+//	flare-top -peers "node-0=http://h0:8080,node-1=http://h1:8081"
 //	flare-top -once [-json]
+//
+// With -peers, flare-top switches to the cluster view: one row per
+// node (QPS, error-budget burn, ring role, replication lag) and a
+// rollup line for the whole cluster. See cluster.go.
 //
 // -once renders a single frame and exits; with -json it emits one
 // machine-readable report instead, suitable for scripting and for the
@@ -37,6 +42,7 @@ func main() {
 
 type topConfig struct {
 	addr     string
+	peers    string
 	interval time.Duration
 	spans    int
 	once     bool
@@ -47,6 +53,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flare-top", flag.ContinueOnError)
 	var cfg topConfig
 	fs.StringVar(&cfg.addr, "addr", "http://localhost:8080", "flare-server base URL")
+	fs.StringVar(&cfg.peers, "peers", "",
+		`cluster view: comma-separated NAME=URL pairs, one per node`)
 	fs.DurationVar(&cfg.interval, "interval", 2*time.Second, "poll interval")
 	fs.IntVar(&cfg.spans, "spans", 8, "slowest recent spans to show")
 	fs.BoolVar(&cfg.once, "once", false, "render one frame and exit")
@@ -59,6 +67,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.spans <= 0 {
 		cfg.spans = 8
+	}
+	if cfg.peers != "" {
+		peers, err := parsePeersFlag(cfg.peers)
+		if err != nil {
+			return err
+		}
+		return runCluster(cfg, peers, out)
 	}
 
 	c := &poller{
@@ -110,18 +125,40 @@ type sample struct {
 // healthReport mirrors the /api/health payload (internal/server's
 // sloStatus); unknown fields are ignored so the two can evolve.
 type healthReport struct {
-	Status         string   `json:"status"`
-	Reasons        []string `json:"reasons,omitempty"`
-	Breaker        string   `json:"breaker"`
-	WindowSeconds  float64  `json:"window_seconds"`
-	WindowRequests uint64   `json:"window_requests"`
-	WindowErrors   uint64   `json:"window_errors"`
-	WindowShed     uint64   `json:"window_shed"`
-	ErrorRate      float64  `json:"error_rate"`
-	BurnRate       float64  `json:"error_budget_burn"`
-	P50Ms          float64  `json:"p50_ms"`
-	P99Ms          float64  `json:"p99_ms"`
-	P999Ms         float64  `json:"p999_ms"`
+	Status         string          `json:"status"`
+	Reasons        []string        `json:"reasons,omitempty"`
+	Breaker        string          `json:"breaker"`
+	WindowSeconds  float64         `json:"window_seconds"`
+	WindowRequests uint64          `json:"window_requests"`
+	WindowErrors   uint64          `json:"window_errors"`
+	WindowShed     uint64          `json:"window_shed"`
+	ErrorRate      float64         `json:"error_rate"`
+	BurnRate       float64         `json:"error_budget_burn"`
+	P50Ms          float64         `json:"p50_ms"`
+	P99Ms          float64         `json:"p99_ms"`
+	P999Ms         float64         `json:"p999_ms"`
+	Cluster        *clusterSection `json:"cluster,omitempty"`
+}
+
+// clusterSection mirrors the cluster block of /api/health on nodes
+// running with clustering enabled.
+type clusterSection struct {
+	NodeID         string        `json:"node_id"`
+	Role           string        `json:"role"`
+	Peers          []peerStatus  `json:"peers,omitempty"`
+	Followers      []followerLag `json:"followers,omitempty"`
+	ReplAppliedSeq uint64        `json:"repl_applied_seq,omitempty"`
+}
+
+type peerStatus struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+}
+
+type followerLag struct {
+	Name  string `json:"name"`
+	Acked uint64 `json:"acked_seq"`
+	Lag   uint64 `json:"lag_events"`
 }
 
 // spanSnapshot mirrors obs.SpanSnapshot's JSON shape.

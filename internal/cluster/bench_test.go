@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"flare/internal/obs"
+	"flare/internal/store"
+)
+
+// BenchmarkWALShip measures end-to-end replication throughput: leader
+// append -> group commit -> event record -> wire protocol over an
+// in-process pipe -> follower apply. fsync is off on both sides so the
+// number tracks the shipping path, not the disk.
+func BenchmarkWALShip(b *testing.B) {
+	sh := NewShipper(ShipperOptions{MaxLog: 1 << 16, Metrics: NewMetrics(obs.NewRegistry())})
+	opts := store.DefaultOptions()
+	opts.SyncWrites = false
+	opts.Registry = obs.NewRegistry()
+	opts.Replicate = sh.Record
+	st, err := store.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	sh.Bind(st)
+	defer sh.Close()
+
+	fopts := FollowerOptions{Metrics: NewMetrics(obs.NewRegistry())}
+	fopts.Store = store.DefaultOptions()
+	fopts.Store.SyncWrites = false
+	fopts.Store.Registry = obs.NewRegistry()
+	f, err := OpenFollower(b.TempDir(), "bench-follower", fopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	conn := serve(b, sh)
+	defer conn.Close()
+	go func() { _ = f.Run(context.Background(), conn) }()
+
+	value := make([]byte, 256)
+	b.SetBytes(int64(len(value)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-%09d", i)
+		if err := st.Append([]byte(key), value); err != nil {
+			b.Fatal(err)
+		}
+		// Let the follower drain periodically so the leader never outruns
+		// the retained event window — a live session that falls out of the
+		// window needs a reconnect-plus-snapshot, which is a different
+		// benchmark.
+		if i%4096 == 4095 {
+			waitFor(b, "follower to keep pace", func() bool {
+				return f.Applied() == sh.LastSeq()
+			})
+		}
+	}
+	// The benchmark measures shipped-and-applied throughput, so the
+	// clock stops only once the follower has caught up.
+	waitFor(b, "follower to drain the stream", func() bool {
+		return f.Applied() == sh.LastSeq()
+	})
+}

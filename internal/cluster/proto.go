@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"flare/internal/store"
+)
+
+// Wire protocol for WAL shipping, mirroring the store's own framing
+// discipline: every message is length-prefixed and CRC-guarded, so a
+// torn or corrupted stream is detected at the first bad message instead
+// of being applied.
+//
+//	| kind: 1 byte | payload len: uint32 LE | crc32c(payload): uint32 LE | payload |
+//
+// Session shape: the follower opens with hello (its name and the first
+// event seq it wants, 0 = "bootstrap me from a snapshot"); the leader
+// answers with an optional snapshot, then a stream of event messages in
+// seq order; the follower sends ack messages back on the same
+// connection. Payload integers are uvarints unless noted.
+const (
+	msgHello    byte = iota + 1 // follower -> leader: name, wantSeq
+	msgEvent                    // leader -> follower: seq, ReplicationEvent
+	msgSnapshot                 // leader -> follower: baseSeq, store files
+	msgAck                      // follower -> leader: applied seq
+)
+
+const msgHeaderSize = 9
+
+// maxMessage bounds one message; snapshots carry whole store files, so
+// the cap is generous. Anything larger marks a corrupt stream.
+const maxMessage = 1 << 30
+
+var protoCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errShortMessage = errors.New("cluster: short message payload")
+
+func writeMsg(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxMessage {
+		return fmt.Errorf("cluster: message of %d bytes exceeds cap", len(payload))
+	}
+	var hdr [msgHeaderSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, protoCastagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: writing message header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: writing message payload: %w", err)
+	}
+	return nil
+}
+
+// readMsg reads one message. io.EOF is returned verbatim on a clean
+// close between messages so callers can distinguish shutdown from
+// corruption.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	var hdr [msgHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("cluster: reading message header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxMessage {
+		return 0, nil, fmt.Errorf("cluster: message of %d bytes exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("cluster: reading message payload: %w", err)
+	}
+	if crc32.Checksum(payload, protoCastagnoli) != binary.LittleEndian.Uint32(hdr[5:]) {
+		return 0, nil, errors.New("cluster: message checksum mismatch")
+	}
+	return hdr[0], payload, nil
+}
+
+// protoReader decodes payload fields with a sticky error, so call sites
+// stay linear and check once at the end.
+type protoReader struct {
+	buf []byte
+	err error
+}
+
+func (r *protoReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = errShortMessage
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *protoReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)) < n {
+		r.err = errShortMessage
+		return nil
+	}
+	b := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *protoReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("cluster: %d trailing payload bytes", len(r.buf))
+	}
+	return nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func encodeHello(name string, wantSeq uint64) []byte {
+	b := appendBytes(nil, []byte(name))
+	return binary.AppendUvarint(b, wantSeq)
+}
+
+func decodeHello(payload []byte) (name string, wantSeq uint64, err error) {
+	r := &protoReader{buf: payload}
+	name = string(r.bytes())
+	wantSeq = r.uvarint()
+	return name, wantSeq, r.done()
+}
+
+func encodeAck(applied uint64) []byte {
+	return binary.AppendUvarint(nil, applied)
+}
+
+func decodeAck(payload []byte) (uint64, error) {
+	r := &protoReader{buf: payload}
+	applied := r.uvarint()
+	return applied, r.done()
+}
+
+func encodeEvent(seq uint64, ev store.ReplicationEvent) []byte {
+	b := binary.AppendUvarint(nil, seq)
+	b = append(b, byte(ev.Kind))
+	switch ev.Kind {
+	case store.ReplFrames:
+		b = binary.AppendUvarint(b, ev.Gen)
+		b = binary.AppendUvarint(b, ev.WalPos)
+		b = appendBytes(b, ev.Frames)
+	case store.ReplFlush:
+		b = binary.AppendUvarint(b, ev.SegID)
+		b = binary.AppendUvarint(b, ev.NewGen)
+		b = binary.AppendUvarint(b, ev.NextSegID)
+	case store.ReplCompact:
+		b = binary.AppendUvarint(b, ev.SegID)
+		b = binary.AppendUvarint(b, uint64(ev.Inputs))
+		b = binary.AppendUvarint(b, ev.NextSegID)
+	}
+	return b
+}
+
+func decodeEvent(payload []byte) (seq uint64, ev store.ReplicationEvent, err error) {
+	r := &protoReader{buf: payload}
+	seq = r.uvarint()
+	if r.err == nil {
+		if len(r.buf) == 0 {
+			r.err = errShortMessage
+		} else {
+			ev.Kind = store.ReplKind(r.buf[0])
+			r.buf = r.buf[1:]
+		}
+	}
+	switch ev.Kind {
+	case store.ReplFrames:
+		ev.Gen = r.uvarint()
+		ev.WalPos = r.uvarint()
+		ev.Frames = r.bytes()
+	case store.ReplFlush:
+		ev.SegID = r.uvarint()
+		ev.NewGen = r.uvarint()
+		ev.NextSegID = r.uvarint()
+	case store.ReplCompact:
+		ev.SegID = r.uvarint()
+		ev.Inputs = int(r.uvarint())
+		ev.NextSegID = r.uvarint()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("cluster: unknown event kind %d", ev.Kind)
+		}
+	}
+	return seq, ev, r.done()
+}
+
+func encodeSnapshot(baseSeq uint64, files []store.SnapshotFile) []byte {
+	b := binary.AppendUvarint(nil, baseSeq)
+	b = binary.AppendUvarint(b, uint64(len(files)))
+	for _, f := range files {
+		b = appendBytes(b, []byte(f.Name))
+		b = appendBytes(b, f.Data)
+	}
+	return b
+}
+
+func decodeSnapshot(payload []byte) (baseSeq uint64, files []store.SnapshotFile, err error) {
+	r := &protoReader{buf: payload}
+	baseSeq = r.uvarint()
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.buf)) {
+		// Each file costs at least one byte; a larger count is corrupt.
+		return 0, nil, fmt.Errorf("cluster: snapshot claims %d files in %d bytes", n, len(r.buf))
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		name := string(r.bytes())
+		data := r.bytes()
+		files = append(files, store.SnapshotFile{Name: name, Data: data})
+	}
+	return baseSeq, files, r.done()
+}

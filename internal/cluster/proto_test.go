@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"flare/internal/store"
+)
+
+func TestProtoMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := writeMsg(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		kind, got, err := readMsg(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != byte(i+1) || !bytes.Equal(got, want) {
+			t.Fatalf("message %d: kind=%d payload %d bytes; want kind=%d, %d bytes",
+				i, kind, len(got), i+1, len(want))
+		}
+	}
+	if _, _, err := readMsg(&buf); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestProtoDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, msgEvent, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x01 // flip one payload bit
+	if _, _, err := readMsg(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt payload passed the checksum")
+	}
+}
+
+func TestProtoHelloAckRoundTrip(t *testing.T) {
+	name, wantSeq, err := decodeHello(encodeHello("node-2", 77))
+	if err != nil || name != "node-2" || wantSeq != 77 {
+		t.Fatalf("hello round-trip: %q, %d, %v", name, wantSeq, err)
+	}
+	applied, err := decodeAck(encodeAck(123456))
+	if err != nil || applied != 123456 {
+		t.Fatalf("ack round-trip: %d, %v", applied, err)
+	}
+}
+
+func TestProtoEventRoundTrip(t *testing.T) {
+	events := []store.ReplicationEvent{
+		{Kind: store.ReplFrames, Gen: 3, WalPos: 99, Frames: []byte{1, 2, 3, 4}},
+		{Kind: store.ReplFrames, Gen: 0, WalPos: 0, Frames: []byte{}},
+		{Kind: store.ReplFlush, SegID: 7, NewGen: 4, NextSegID: 9},
+		{Kind: store.ReplCompact, SegID: 10, Inputs: 4, NextSegID: 11},
+	}
+	for i, want := range events {
+		seq, got, err := decodeEvent(encodeEvent(uint64(i+1), want))
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d", i, seq)
+		}
+		if got.Kind != want.Kind || got.Gen != want.Gen || got.WalPos != want.WalPos ||
+			got.SegID != want.SegID || got.Inputs != want.Inputs ||
+			got.NewGen != want.NewGen || got.NextSegID != want.NextSegID ||
+			!bytes.Equal(got.Frames, want.Frames) {
+			t.Fatalf("event %d round-trip: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, _, err := decodeEvent([]byte{1}); err == nil {
+		t.Error("truncated event decoded without error")
+	}
+	if _, _, err := decodeEvent(encodeEvent(1, store.ReplicationEvent{Kind: 99})); err == nil {
+		t.Error("unknown event kind decoded without error")
+	}
+}
+
+func TestProtoSnapshotRoundTrip(t *testing.T) {
+	files := []store.SnapshotFile{
+		{Name: "MANIFEST", Data: []byte(`{"wal_gen":2}`)},
+		{Name: "seg-000000.seg", Data: bytes.Repeat([]byte{7}, 1000)},
+		{Name: "wal-000002.log", Data: nil},
+	}
+	baseSeq, got, err := decodeSnapshot(encodeSnapshot(42, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseSeq != 42 {
+		t.Fatalf("baseSeq = %d, want 42", baseSeq)
+	}
+	if len(got) != len(files) {
+		t.Fatalf("decoded %d files, want %d", len(got), len(files))
+	}
+	for i := range files {
+		if got[i].Name != files[i].Name || !bytes.Equal(got[i].Data, files[i].Data) {
+			t.Fatalf("file %d: %q (%d bytes), want %q (%d bytes)",
+				i, got[i].Name, len(got[i].Data), files[i].Name, len(files[i].Data))
+		}
+	}
+	if !reflect.DeepEqual(got[0].Data, files[0].Data) {
+		t.Fatal("manifest bytes differ")
+	}
+	if _, _, err := decodeSnapshot([]byte{200, 200}); err == nil {
+		t.Error("truncated snapshot decoded without error")
+	}
+}

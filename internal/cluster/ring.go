@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node vnode count used when a Ring is
+// built with virtualNodes <= 0. 128 vnodes keeps the per-node share
+// within a few percent of uniform for small clusters.
+const DefaultVirtualNodes = 128
+
+// FNV-1a 64-bit, inlined to keep hashing allocation-free on the request
+// path. The function is fixed: placement must be stable across releases
+// or every key would migrate on upgrade.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Ring is a consistent-hash ring over a fixed member set. Each node
+// projects virtualNodes points ("node#i") onto a 64-bit circle; a key is
+// owned by the node whose next point clockwise from the key's hash comes
+// first. Placement is a pure function of (member set, virtualNodes):
+// join order does not matter, and removing one node moves only that
+// node's share. Immutable after construction; safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	vnodes []ringPoint // ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// NewRing builds a ring over nodes (deduplicated, order-insensitive).
+// virtualNodes <= 0 selects DefaultVirtualNodes.
+func NewRing(nodes []string, virtualNodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	uniq := append([]string(nil), nodes...)
+	sort.Strings(uniq)
+	n := 0
+	for i, name := range uniq {
+		if name == "" {
+			return nil, errors.New("cluster: empty node name")
+		}
+		if i == 0 || name != uniq[n-1] {
+			uniq[n] = name
+			n++
+		}
+	}
+	uniq = uniq[:n]
+
+	r := &Ring{nodes: uniq, vnodes: make([]ringPoint, 0, len(uniq)*virtualNodes)}
+	for ni, name := range uniq {
+		for v := 0; v < virtualNodes; v++ {
+			h := fnv1a(name + "#" + strconv.Itoa(v))
+			r.vnodes = append(r.vnodes, ringPoint{hash: h, node: int32(ni)})
+		}
+	}
+	// Sort by hash; break (astronomically unlikely) hash collisions by
+	// node index so placement stays deterministic regardless of input
+	// order.
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.ownerIndex(key)]
+}
+
+func (r *Ring) ownerIndex(key string) int32 {
+	h := fnv1a(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool {
+		return r.vnodes[i].hash >= h
+	})
+	if i == len(r.vnodes) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.vnodes[i].node
+}
+
+// Nodes returns the member set in sorted order.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossJoinOrder(t *testing.T) {
+	a, err := NewRing([]string{"node-a", "node-b", "node-c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node-c", "node-a", "node-b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("feature-%03d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s owned by %s vs %s depending on join order",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoversAllNodes(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, 0) // default vnode count
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%05d", i))]++
+	}
+	for _, n := range nodes {
+		c := counts[n]
+		if c == 0 {
+			t.Errorf("node %s owns no keys", n)
+		}
+		// With 128 vnodes the share should be within a factor of ~2 of
+		// uniform; a grossly skewed ring indicates a placement bug.
+		if c < keys/(len(nodes)*3) || c > 3*keys/len(nodes) {
+			t.Errorf("node %s owns %d of %d keys: badly skewed", n, c, keys)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("Owner = %s, want only", got)
+		}
+	}
+}
+
+func TestRingRemovalOnlyMovesRemovedShare(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c", "d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewRing([]string{"a", "b", "d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before != "c" && after != before {
+			t.Fatalf("key %s moved %s -> %s though its owner was not removed",
+				key, before, after)
+		}
+	}
+}
+
+func TestRingDedupAndValidation(t *testing.T) {
+	r, err := NewRing([]string{"a", "a", "b"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after dedup, want 2", r.Len())
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes = %v, want [a b]", got)
+	}
+	if _, err := NewRing(nil, 4); err == nil {
+		t.Error("empty ring did not error")
+	}
+	if _, err := NewRing([]string{""}, 4); err == nil {
+		t.Error("empty node name did not error")
+	}
+}

@@ -84,3 +84,22 @@ func BadSLOCounterSuffix(r *Registry) {
 func BadTraceGaugeSuffix(r *Registry) {
 	r.Gauge("flare_trace_buffered_total", "gauge with the counter suffix") // want `gauge name "flare_trace_buffered_total" must not end in _total`
 }
+
+// The cluster subsystem's family: replication and routing counters end
+// in _total, while the per-follower lag gauge carries a plain unit
+// suffix.
+func GoodClusterFamily(r *Registry) {
+	r.Counter("flare_cluster_ship_events_total", "replication events streamed to followers")
+	r.Counter("flare_cluster_ship_bytes_total", "replication payload bytes streamed")
+	r.Counter("flare_cluster_apply_events_total", "replication events applied by followers")
+	r.Counter("flare_cluster_forward_total", "estimate requests routed across the ring", "result")
+	r.Gauge("flare_cluster_repl_lag_events", "events a follower trails the leader by", "follower")
+}
+
+func BadClusterCounterSuffix(r *Registry) {
+	r.Counter("flare_cluster_snapshots", "counter missing _total") // want `counter name "flare_cluster_snapshots" must end in _total`
+}
+
+func BadClusterLagSuffix(r *Registry) {
+	r.Gauge("flare_cluster_repl_lag_total", "gauge with the counter suffix") // want `gauge name "flare_cluster_repl_lag_total" must not end in _total`
+}

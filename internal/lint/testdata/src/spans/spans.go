@@ -176,3 +176,62 @@ func BadPhaseErrorPathLeak(ctx context.Context) error {
 	sp.End()
 	return nil
 }
+
+// The coordinator fan-out shape: the parent span covers the whole
+// batch while each goroutine owns — and defer-ends — its own per-peer
+// routing span.
+func GoodClusterFanOut(peers []string) {
+	sp := Start("cluster.batch")
+	defer sp.End()
+	done := make(chan struct{})
+	for range peers {
+		go func() {
+			child := Start("cluster.route")
+			defer child.End()
+			work()
+			done <- struct{}{}
+		}()
+	}
+	for range peers {
+		<-done
+	}
+}
+
+// A span handed to a goroutine escapes (the closure owns it); one kept
+// in the dispatching loop does not, and leaks if the loop forgets it.
+func BadClusterFanOutChildLeak(peers []string) {
+	sp := Start("cluster.batch")
+	defer sp.End()
+	for range peers {
+		child := Start("cluster.route") // want `span child is never ended`
+		child.SetAttr("peer", 1)
+		work()
+	}
+}
+
+// The replication-stream pump shape: one span per shipped event, ended
+// in every comm clause of the select (a select needs no default — it
+// always executes exactly one clause).
+func GoodClusterStreamSelect(events <-chan int, done <-chan struct{}) {
+	for {
+		sp := Start("cluster.ship")
+		select {
+		case <-events:
+			sp.SetAttr("events", 1)
+			sp.End()
+		case <-done:
+			sp.End()
+			return
+		}
+	}
+}
+
+func BadClusterStreamSkip(events []int) {
+	for _, e := range events {
+		sp := Start("cluster.ship")
+		if e == 0 {
+			continue // want `continue leaves span sp un-ended`
+		}
+		sp.End()
+	}
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"flare/internal/fault"
+	"flare/internal/machine"
+	"flare/internal/obs"
+)
+
+// memTransport routes peer requests to in-process handlers by URL host.
+// Hosts can be retargeted mid-test (nil = node down) to simulate kills
+// and restarts without real sockets.
+type memTransport struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{handlers: make(map[string]http.Handler)}
+}
+
+func (m *memTransport) set(host string, h http.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[host] = h
+}
+
+func (m *memTransport) Do(req *http.Request) (*http.Response, error) {
+	m.mu.Lock()
+	h := m.handlers[req.URL.Host]
+	m.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("no route to host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// testCluster builds n servers over the shared test pipeline, joined
+// into one ring over a memTransport. Returned handlers are indexed by
+// node; nodeName(i) gives the ring names.
+func testCluster(t testing.TB, n int, injectors []*fault.Injector) (*memTransport, []http.Handler, []*Server) {
+	t.Helper()
+	p := testPipeline(t)
+	peers := make([]ClusterPeer, n)
+	for i := range peers {
+		peers[i] = ClusterPeer{Name: nodeName(i), URL: "http://" + nodeName(i)}
+	}
+	tr := newMemTransport()
+	handlers := make([]http.Handler, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewWithTelemetry(p, machine.PaperFeatures(), obs.NewRegistry(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ClusterConfig{NodeID: nodeName(i), Peers: peers, Client: tr}
+		if injectors != nil {
+			cfg.Injector = injectors[i]
+		}
+		if err := srv.EnableCluster(cfg); err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		handlers[i] = srv.Handler()
+		tr.set(nodeName(i), handlers[i])
+	}
+	return tr, handlers, servers
+}
+
+func nodeName(i int) string { return fmt.Sprintf("node-%d", i) }
+
+// body performs a request against a handler and returns status + body.
+func body(t testing.TB, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// allFeaturesParam is every paper feature, comma-joined in a fixed
+// order for batch requests.
+func allFeaturesParam() string {
+	names := make([]string, 0, len(machine.PaperFeatures()))
+	for _, f := range machine.PaperFeatures() {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func TestEnableClusterValidates(t *testing.T) {
+	p := testPipeline(t)
+	srv, err := NewWithTelemetry(p, machine.PaperFeatures(), obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []ClusterConfig{
+		{NodeID: "", Peers: []ClusterPeer{{Name: "a"}}},
+		{NodeID: "a", Peers: []ClusterPeer{{Name: "b", URL: "http://b"}}},
+		{NodeID: "a", Peers: []ClusterPeer{{Name: "a"}, {Name: "a"}}},
+		{NodeID: "a", Peers: []ClusterPeer{{Name: "a"}, {Name: "b"}}}, // peer b has no URL
+		{NodeID: "a", Peers: nil},
+	}
+	for i, cfg := range cases {
+		if err := srv.EnableCluster(cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestClusterBatchMatchesSingleNode is the golden determinism test: a
+// 3-node cluster's batch estimate must be byte-identical to a
+// single-node server's, and so must every individually routed
+// estimate regardless of which node receives the request.
+func TestClusterBatchMatchesSingleNode(t *testing.T) {
+	p := testPipeline(t)
+	single, err := NewWithTelemetry(p, machine.PaperFeatures(), obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleH := single.Handler()
+	_, handlers, servers := testCluster(t, 3, nil)
+
+	batchPath := "/api/estimate/batch?features=" + allFeaturesParam()
+	wantCode, want := body(t, singleH, batchPath)
+	if wantCode != http.StatusOK {
+		t.Fatalf("single-node batch = %d: %s", wantCode, want)
+	}
+	for i, h := range handlers {
+		code, got := body(t, h, batchPath)
+		if code != http.StatusOK {
+			t.Fatalf("node %d batch = %d: %s", i, code, got)
+		}
+		if got != want {
+			t.Errorf("node %d batch differs from single-node:\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+
+	// Single estimates are also byte-identical from every entry point.
+	for _, f := range machine.PaperFeatures() {
+		path := "/api/estimate?feature=" + f.Name
+		_, want := body(t, singleH, path)
+		for i, h := range handlers {
+			if _, got := body(t, h, path); got != want {
+				t.Errorf("node %d estimate %s differs from single-node", i, f.Name)
+			}
+		}
+	}
+
+	// The identity must come from real routing, not silent fallback:
+	// with >1 features and 3 nodes, some element of some batch was
+	// served by a peer.
+	var forwarded uint64
+	for _, srv := range servers {
+		forwarded += srv.reg.Counter("flare_cluster_forward_total",
+			"estimate routing decisions by the cluster coordinator",
+			"result", "forwarded").Value()
+	}
+	if forwarded == 0 {
+		t.Error("no estimate was ever forwarded to a ring peer")
+	}
+}
+
+// TestClusterSurvivesNodeKillAndRestart kills a remote node (transport
+// returns errors), requires byte-identical fallback service, then
+// restarts it and requires the bytes again.
+func TestClusterSurvivesNodeKillAndRestart(t *testing.T) {
+	p := testPipeline(t)
+	single, err := NewWithTelemetry(p, machine.PaperFeatures(), obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleH := single.Handler()
+	tr, handlers, _ := testCluster(t, 3, nil)
+
+	batchPath := "/api/estimate/batch?features=" + allFeaturesParam()
+	_, want := body(t, singleH, batchPath)
+
+	// Kill nodes 1 and 2: node 0 must fall back to local computation for
+	// every remotely owned feature and still produce identical bytes.
+	alive := tr.handlers[nodeName(1)]
+	tr.set(nodeName(1), nil)
+	tr.set(nodeName(2), nil)
+	code, got := body(t, handlers[0], batchPath)
+	if code != http.StatusOK {
+		t.Fatalf("batch with dead peers = %d: %s", code, got)
+	}
+	if got != want {
+		t.Errorf("batch with dead peers differs from single-node:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Restart node 1: forwarding resumes and the bytes are unchanged.
+	tr.set(nodeName(1), alive)
+	if _, got := body(t, handlers[0], batchPath); got != want {
+		t.Errorf("batch after restart differs from single-node")
+	}
+}
+
+// TestClusterFaultScheduleByteIdentical drives the coordinator through
+// a deterministic fault schedule at the cluster.peer.request site and
+// requires byte-identical responses throughout.
+func TestClusterFaultScheduleByteIdentical(t *testing.T) {
+	p := testPipeline(t)
+	single, err := NewWithTelemetry(p, machine.PaperFeatures(), obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleH := single.Handler()
+
+	injectors := make([]*fault.Injector, 3)
+	for i := range injectors {
+		rules, err := fault.ParseSpec("cluster.peer.request=error@0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := fault.New(rules, int64(42+i), obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectors[i] = inj
+	}
+	_, handlers, _ := testCluster(t, 3, injectors)
+
+	batchPath := "/api/estimate/batch?features=" + allFeaturesParam()
+	_, want := body(t, singleH, batchPath)
+	for round := 0; round < 8; round++ {
+		h := handlers[round%3]
+		code, got := body(t, h, batchPath)
+		if code != http.StatusOK {
+			t.Fatalf("round %d: batch = %d: %s", round, code, got)
+		}
+		if got != want {
+			t.Errorf("round %d: batch under faults differs from single-node", round)
+		}
+	}
+}
+
+func TestClusterLoopGuardServesLocally(t *testing.T) {
+	_, handlers, _ := testCluster(t, 2, nil)
+	feat := machine.PaperFeatures()[0].Name
+	req := httptest.NewRequest(http.MethodGet, "/api/estimate?feature="+feat, nil)
+	req.Header.Set(clusterForwardHeader, "node-9")
+	// Both nodes must answer 200 locally without re-forwarding, whatever
+	// the ring says about ownership.
+	for i, h := range handlers {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("node %d answered %d to a forwarded request", i, rec.Code)
+		}
+	}
+}
+
+func TestBatchValidatesBeforeFanout(t *testing.T) {
+	h := testServer(t).Handler()
+	var e errorResponse
+	get(t, h, "/api/estimate/batch", http.StatusBadRequest, &e)
+	get(t, h, "/api/estimate/batch?features=nope", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "nope") {
+		t.Errorf("error %q does not name the unknown feature", e.Error)
+	}
+	feat := machine.PaperFeatures()[0].Name
+	get(t, h, "/api/estimate/batch?features="+feat+",bogus", http.StatusNotFound, &e)
+}
+
+func TestClusterHealthSection(t *testing.T) {
+	_, handlers, _ := testCluster(t, 3, nil)
+	var st struct {
+		Cluster *struct {
+			NodeID string `json:"node_id"`
+			Role   string `json:"role"`
+			Peers  []struct {
+				Name   string `json:"name"`
+				Status string `json:"status"`
+			} `json:"peers"`
+		} `json:"cluster"`
+	}
+	get(t, handlers[1], "/api/health", http.StatusOK, &st)
+	if st.Cluster == nil {
+		t.Fatal("/api/health has no cluster section on a cluster node")
+	}
+	if st.Cluster.NodeID != "node-1" || st.Cluster.Role != "single" {
+		t.Errorf("cluster section = %+v", st.Cluster)
+	}
+	if len(st.Cluster.Peers) != 2 {
+		t.Fatalf("peers = %+v, want 2 entries", st.Cluster.Peers)
+	}
+	for _, p := range st.Cluster.Peers {
+		if p.Status != "ok" {
+			t.Errorf("peer %s status %q, want ok", p.Name, p.Status)
+		}
+	}
+
+	// Single-node servers must not grow a cluster section.
+	var plain map[string]interface{}
+	get(t, testServer(t).Handler(), "/api/health", http.StatusOK, &plain)
+	if _, has := plain["cluster"]; has {
+		t.Error("single-node /api/health has a cluster section")
+	}
+}
+
+// BenchmarkClusterBatchEstimate measures a warmed 3-node batch
+// round-trip through the coordinator (ring routing + in-process
+// forwarding + merge).
+func BenchmarkClusterBatchEstimate(b *testing.B) {
+	_, handlers, _ := testCluster(b, 3, nil)
+	batchPath := "/api/estimate/batch?features=" + allFeaturesParam()
+	if code, out := body(b, handlers[0], batchPath); code != http.StatusOK {
+		b.Fatalf("warm-up batch = %d: %s", code, out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code, _ := body(b, handlers[i%3], batchPath); code != http.StatusOK {
+			b.Fatal("batch failed")
+		}
+	}
+}

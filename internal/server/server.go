@@ -67,6 +67,8 @@ type Server struct {
 	opts Options       // resilience settings; see SetResilience
 	sem  chan struct{} // concurrency limiter; nil = unlimited
 
+	cluster *coordinator // nil = single-node; see EnableCluster
+
 	// pmu guards the pipeline: read handlers and estimate computations
 	// hold it shared, while /api/tick holds it exclusively to fold a
 	// datacenter tick into the dataset and analysis in place.
@@ -196,6 +198,7 @@ func (s *Server) Handler() http.Handler {
 	api("/api/pcs", s.handlePCs)
 	api("/api/scenarios", s.handleScenarios)
 	api("/api/estimate", s.handleEstimate)
+	api("/api/estimate/batch", s.handleEstimateBatch)
 	api("/api/tick", s.handleTick)
 	api("/api/plan", s.handlePlan)
 	api("/api/db/tables", s.handleDBTables)
@@ -594,6 +597,37 @@ func (e *estimateEntry) compute(s *Server, feat machine.Feature, job, key string
 	s.mu.Unlock()
 }
 
+// lookupEstimate resolves the singleflight cache slot for (feat, job),
+// creating the entry and spawning its computation on a miss or when
+// the cached result has aged past EstimateRefresh. Callers wait on the
+// returned entry's done channel.
+func (s *Server) lookupEstimate(feat machine.Feature, job string) *estimateEntry {
+	key := feat.Name + "|" + job
+	s.mu.Lock()
+	entry, hit := s.cache[key]
+	result := "miss"
+	switch {
+	case hit && s.opts.EstimateRefresh > 0 && entry.finished() &&
+		time.Since(entry.computedAt) > s.opts.EstimateRefresh:
+		// Stale: recompute. Unfinished entries are never stale — joining
+		// the in-flight computation is always right.
+		hit = false
+		result = "stale"
+	case hit:
+		result = "hit"
+	}
+	if !hit {
+		entry = &estimateEntry{done: make(chan struct{})}
+		s.cache[key] = entry
+		go entry.compute(s, feat, job, key)
+	}
+	s.mu.Unlock()
+	s.reg.Counter("flare_estimate_cache_total",
+		"estimate cache lookups (a hit may still wait on an in-flight computation)",
+		"result", result).Inc()
+	return entry
+}
+
 // finished reports whether the entry's computation has resolved.
 func (e *estimateEntry) finished() bool {
 	select {
@@ -620,30 +654,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	job := r.URL.Query().Get("job")
 
-	key := featName + "|" + job
-	s.mu.Lock()
-	entry, hit := s.cache[key]
-	result := "miss"
-	switch {
-	case hit && s.opts.EstimateRefresh > 0 && entry.finished() &&
-		time.Since(entry.computedAt) > s.opts.EstimateRefresh:
-		// Stale: recompute. Unfinished entries are never stale — joining
-		// the in-flight computation is always right.
-		hit = false
-		result = "stale"
-	case hit:
-		result = "hit"
+	// Cluster routing: when a peer owns this feature, relay its response
+	// verbatim. Failed forwards fall through to the local path below —
+	// deterministic pipelines make the fallback bytes identical.
+	if body, ok := s.forwardEstimate(r, featName, job); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
 	}
-	if !hit {
-		entry = &estimateEntry{done: make(chan struct{})}
-		s.cache[key] = entry
-		go entry.compute(s, feat, job, key)
-	}
-	s.mu.Unlock()
-	s.reg.Counter("flare_estimate_cache_total",
-		"estimate cache lookups (a hit may still wait on an in-flight computation)",
-		"result", result).Inc()
 
+	entry := s.lookupEstimate(feat, job)
 	if s.opts.RequestTimeout > 0 {
 		timer := time.NewTimer(s.opts.RequestTimeout)
 		defer timer.Stop()

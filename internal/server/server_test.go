@@ -29,7 +29,7 @@ var (
 // testPipeline builds the analysed pipeline fixture shared by every
 // server test (it is expensive; resilience tests wrap fresh Servers
 // around it instead of rebuilding).
-func testPipeline(t *testing.T) *core.Pipeline {
+func testPipeline(t testing.TB) *core.Pipeline {
 	t.Helper()
 	pipeOnce.Do(func() {
 		simCfg := dcsim.DefaultConfig()

@@ -145,6 +145,9 @@ type sloStatus struct {
 	P50Ms          float64  `json:"p50_ms"`
 	P99Ms          float64  `json:"p99_ms"`
 	P999Ms         float64  `json:"p999_ms"`
+	// Cluster reports per-peer health and replication lag on nodes
+	// running with EnableCluster; absent on single-node servers.
+	Cluster *clusterHealth `json:"cluster,omitempty"`
 }
 
 // evaluate appends a fresh sample, prunes the window, computes the
@@ -261,6 +264,9 @@ func (s *Server) handleSLOHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.slo.evaluate(s.breakerState())
+	if c := s.cluster; c != nil {
+		st.Cluster = c.health()
+	}
 	code := http.StatusOK
 	if st.Status == "failing" {
 		code = http.StatusServiceUnavailable

@@ -40,6 +40,13 @@ type Options struct {
 	// segment window), and "store.compact.write" (background compaction
 	// fails). See internal/fault.
 	Injector *fault.Injector
+	// Replicate, when non-nil, observes every durable state transition
+	// (committed WAL batch, flush publish, compaction install) as a
+	// ReplicationEvent, in commit order. WAL-shipping replication hangs
+	// off this hook; see replica.go. The callback runs on the committing
+	// goroutine while store locks are held, so it must be fast and must
+	// never call back into the store.
+	Replicate func(ReplicationEvent)
 }
 
 // DefaultOptions returns durable defaults.
@@ -78,6 +85,12 @@ type Store struct {
 	closed     bool
 	bg         sync.WaitGroup
 	bgErr      error // sticky background (compaction) failure
+
+	// replica marks a store opened with OpenReplica: it mutates only
+	// through Apply* (driven by a leader's replication events), rejects
+	// Append/Flush, never self-compacts, and does not flush on Close —
+	// its on-disk state must stay a byte-exact prefix of the leader's.
+	replica bool
 }
 
 // Open opens (creating if needed) the store in dir, replaying the current
@@ -111,27 +124,28 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.removeOrphans(); err != nil {
 		return nil, err
 	}
-	f, err := s.recoverWAL()
+	f, size, err := s.recoverWAL()
 	if err != nil {
 		return nil, err
 	}
-	s.wal = newWAL(f, opts.SyncWrites, met)
+	s.wal = newWAL(f, man.WALGen, size, opts.SyncWrites, met, s.walHook())
 	met.segsLive.Set(float64(len(s.segs)))
 	return s, nil
 }
 
 // recoverWAL replays wal-<gen>.log into the memtable, truncating a torn
-// tail, and returns the file positioned for appends.
-func (s *Store) recoverWAL() (*os.File, error) {
+// tail, and returns the file positioned for appends together with the
+// valid (durable) byte length.
+func (s *Store) recoverWAL() (*os.File, uint64, error) {
 	path := walPath(s.dir, s.man.WALGen)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening wal: %w", err)
+		return nil, 0, fmt.Errorf("store: opening wal: %w", err)
 	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: reading wal: %w", err)
+		return nil, 0, fmt.Errorf("store: reading wal: %w", err)
 	}
 	recs, valid := decodeFrames(buf)
 	for _, r := range recs {
@@ -142,19 +156,19 @@ func (s *Store) recoverWAL() (*os.File, error) {
 		// Torn or corrupt tail: keep every complete record, drop the rest.
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+			return nil, 0, fmt.Errorf("store: truncating torn wal tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("store: syncing truncated wal: %w", err)
+			return nil, 0, fmt.Errorf("store: syncing truncated wal: %w", err)
 		}
 		s.met.tornTails.Inc()
 	}
 	if _, err := f.Seek(int64(valid), 0); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: seeking wal: %w", err)
+		return nil, 0, fmt.Errorf("store: seeking wal: %w", err)
 	}
-	return f, nil
+	return f, uint64(valid), nil
 }
 
 // removeOrphans deletes segment and WAL files the manifest does not name.
@@ -209,6 +223,9 @@ func (s *Store) Append(key, value []byte) error {
 	if len(key) == 0 {
 		return errors.New("store: empty key")
 	}
+	if s.replica {
+		return ErrReplica
+	}
 	// Fault site: a failed or slow disk write, surfaced before any lock
 	// is held so injected latency does not serialise healthy appenders.
 	if err := s.injector().Err("store.wal.append"); err != nil {
@@ -261,12 +278,17 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 // after it, the segment holds them (the old WAL is an orphan). An empty
 // memtable is a no-op.
 func (s *Store) Flush() error {
+	if s.replica {
+		return ErrReplica
+	}
 	s.rot.Lock()
 	defer s.rot.Unlock()
 	return s.flushLocked()
 }
 
-// flushLocked is Flush with s.rot already write-held.
+// flushLocked is Flush with s.rot already write-held: it allocates the
+// segment and WAL-generation ids, runs the leader-only fault sites, and
+// hands off to flushAs for the shared mechanics.
 func (s *Store) flushLocked() error {
 	s.mu.Lock()
 	if s.closed {
@@ -277,7 +299,6 @@ func (s *Store) flushLocked() error {
 		s.mu.Unlock()
 		return nil
 	}
-	entries := sortedEntries(s.mem)
 	segID := s.nextSeg
 	s.nextSeg++
 	newGen := s.man.WALGen + 1
@@ -289,6 +310,26 @@ func (s *Store) flushLocked() error {
 	if err := s.injector().Err("store.flush.segment"); err != nil {
 		return fmt.Errorf("store: writing segment: %w", err)
 	}
+	if err := s.flushAs(segID, newGen, true); err != nil {
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// flushAs persists the memtable as segment segID and rotates the WAL to
+// generation newGen — the core shared by a leader flush and a replica's
+// ApplyFlush. The caller holds s.rot for write and has already allocated
+// (leader) or validated (replica) the ids; on a replica s.nextSeg has
+// been pre-set to the leader's published NextSegID so both manifests
+// serialise byte-identically. Because rot excludes appenders and
+// sortedEntries orders deterministically, identical memtable contents
+// produce identical segment bytes on every node.
+func (s *Store) flushAs(segID, newGen uint64, leader bool) error {
+	s.mu.Lock()
+	entries := sortedEntries(s.mem)
+	s.mu.Unlock()
+
 	if _, err := writeSegment(s.dir, segID, entries); err != nil {
 		return err
 	}
@@ -300,8 +341,10 @@ func (s *Store) flushLocked() error {
 	// does not name it yet. Aborting here — deliberately with NO cleanup
 	// — leaves exactly the orphan a real crash would: recovery must keep
 	// serving from the WAL and delete the unpublished segment.
-	if err := s.injector().Err("store.flush.publish"); err != nil {
-		return fmt.Errorf("store: publishing flush: %w", err)
+	if leader {
+		if err := s.injector().Err("store.flush.publish"); err != nil {
+			return fmt.Errorf("store: publishing flush: %w", err)
+		}
 	}
 
 	// New WAL generation first: the manifest must never point at a WAL
@@ -327,17 +370,19 @@ func (s *Store) flushLocked() error {
 	}
 	s.man = man
 	s.segs = append(s.segs, seg)
-	s.wal = newWAL(nf, s.opts.SyncWrites, s.met)
+	s.wal = newWAL(nf, newGen, 0, s.opts.SyncWrites, s.met, s.walHook())
 	s.mem = make(map[string][]byte)
 	s.memBytes = 0
 	s.met.flushes.Inc()
 	s.met.segsLive.Set(float64(len(s.segs)))
+	if leader {
+		s.emit(ReplicationEvent{Kind: ReplFlush, SegID: segID,
+			NewGen: newGen, NextSegID: man.NextSegID})
+	}
 	s.mu.Unlock()
 
 	_ = oldWAL.close()
 	_ = os.Remove(walPath(s.dir, oldGen))
-
-	s.maybeCompact()
 	return nil
 }
 
@@ -358,7 +403,7 @@ func sortedEntries(mem map[string][]byte) []entry {
 func (s *Store) maybeCompact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.opts.CompactAtSegments <= 0 || s.compacting || s.closed ||
+	if s.replica || s.opts.CompactAtSegments <= 0 || s.compacting || s.closed ||
 		len(s.segs) < s.opts.CompactAtSegments {
 		return
 	}
@@ -430,6 +475,8 @@ func (s *Store) compact(merge []*segment) {
 	s.segs = append([]*segment{seg}, s.segs[len(merge):]...)
 	s.met.compactions.Inc()
 	s.met.segsLive.Set(float64(len(s.segs)))
+	s.emit(ReplicationEvent{Kind: ReplCompact, SegID: segID,
+		Inputs: len(merge), NextSegID: man.NextSegID})
 	s.mu.Unlock()
 
 	for _, seg := range old {
@@ -606,7 +653,14 @@ func (s *Store) Close() error {
 	}
 	s.mu.Unlock()
 
-	flushErr := s.flushLocked()
+	// A replica must not flush on close: doing so would mint a segment
+	// and WAL generation the leader never published, diverging the two
+	// directories. Its memtable is safely reconstructed from the WAL the
+	// leader shipped.
+	var flushErr error
+	if !s.replica {
+		flushErr = s.flushLocked()
+	}
 
 	s.mu.Lock()
 	s.closed = true

@@ -113,6 +113,13 @@ type wal struct {
 	f          *os.File
 	syncWrites bool
 	met        *storeMetrics
+	gen        uint64 // WAL generation this file belongs to
+	// onCommit, when set, observes every durably committed batch (the
+	// exact bytes written, in file order) together with the generation
+	// and the file offset the batch landed at. Batch leaders call it
+	// outside w.mu but strictly serialised (one leader at a time), so
+	// observers see batches in file order. Replication ships these.
+	onCommit func(gen, pos uint64, batch []byte)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -120,12 +127,14 @@ type wal struct {
 	spare     []byte // recycled batch buffer
 	sealed    uint64 // batches handed to a leader
 	committed uint64 // batches durably on disk
+	size      uint64 // bytes durably written to the file
 	flushing  bool
 	err       error // sticky: a failed write poisons the log
 }
 
-func newWAL(f *os.File, syncWrites bool, met *storeMetrics) *wal {
-	w := &wal{f: f, syncWrites: syncWrites, met: met}
+func newWAL(f *os.File, gen, size uint64, syncWrites bool, met *storeMetrics,
+	onCommit func(gen, pos uint64, batch []byte)) *wal {
+	w := &wal{f: f, gen: gen, size: size, syncWrites: syncWrites, met: met, onCommit: onCommit}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -149,14 +158,22 @@ func (w *wal) append(frame []byte) error {
 			w.sealed++
 			batch := w.pending
 			w.pending = w.spare[:0]
+			pos := w.size
 			w.mu.Unlock()
 			werr := w.commit(batch)
+			if werr == nil && w.onCommit != nil {
+				// The batch buffer is recycled after this call returns;
+				// observers that retain the bytes must copy them.
+				w.onCommit(w.gen, pos, batch)
+			}
 			w.mu.Lock()
 			w.spare = batch
 			w.flushing = false
 			w.committed = w.sealed
 			if werr != nil && w.err == nil {
 				w.err = werr
+			} else if werr == nil {
+				w.size = pos + uint64(len(batch))
 			}
 			w.cond.Broadcast()
 			continue
@@ -164,6 +181,34 @@ func (w *wal) append(frame []byte) error {
 		w.cond.Wait()
 	}
 	return w.err
+}
+
+// applyReplicated writes pre-framed batch bytes at the stated leader
+// position — the replica-side mirror of a group commit. A batch wholly
+// behind the durable size is a re-delivery and is skipped; a batch
+// starting past it means events were lost (the caller must resync); a
+// batch straddling it (the replica crashed mid-write and truncated a
+// torn tail) has only its missing suffix written, since the durable
+// prefix already holds identical leader bytes.
+func (w *wal) applyReplicated(pos uint64, batch []byte) (applied bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return false, w.err
+	}
+	end := pos + uint64(len(batch))
+	if end <= w.size {
+		return false, nil
+	}
+	if pos > w.size {
+		return false, errReplicaGap
+	}
+	if err := w.commit(batch[w.size-pos:]); err != nil {
+		w.err = err
+		return false, err
+	}
+	w.size = end
+	return true, nil
 }
 
 // commit writes one sealed batch to the file and syncs it.

@@ -88,7 +88,7 @@ func TestWALGroupCommitConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := newWAL(f, true, newStoreMetrics(obs.NewRegistry()))
+	w := newWAL(f, 0, 0, true, newStoreMetrics(obs.NewRegistry()), nil)
 
 	const writers, per = 8, 50
 	var wg sync.WaitGroup
@@ -135,7 +135,7 @@ func TestWALAppendAfterCloseFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := newWAL(f, false, newStoreMetrics(obs.NewRegistry()))
+	w := newWAL(f, 0, 0, false, newStoreMetrics(obs.NewRegistry()), nil)
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
