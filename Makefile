@@ -17,7 +17,7 @@ COVERAGE_FLOOR = 70
 STATICCHECK_VERSION = 2025.1.1
 GOVULNCHECK_VERSION = v1.1.4
 
-.PHONY: all check vet lint lint-tools flarelint fix build test race coverage bench bench-stages profile-cpu fmt clean
+.PHONY: all check vet lint lint-tools flarelint fix build test race coverage bench bench-stages profile-cpu fmt clean loadgen-smoke impact flaky-hunt
 
 all: check
 
@@ -117,6 +117,31 @@ bench-stages:
 		| tee -a results/bench-stages.txt
 	$(GO) run ./cmd/benchjson -in results/bench-stages.txt \
 		-out results/BENCH_stages.json
+
+# Load-driven resilience proof: boot flare-server against a populated
+# store with faults armed, drive it with two identically-seeded
+# flare-loadgen runs, and require byte-identical schedules plus an exact
+# client/server counter crosscheck with shed/timeout/degraded activity.
+# CI runs the same script in the loadgen-smoke job.
+loadgen-smoke:
+	sh tools/ci/loadgen_smoke.sh
+
+# Two-tree impact verdict of the working tree against a base tree.
+# Usage: make impact IMPACT_BASE=/path/to/base-checkout
+impact:
+	$(GO) run ./cmd/flare-impact -base $(IMPACT_BASE) -head . \
+		-reruns 2 -out results/impact.json
+
+# Repeated-run flaky hunt over the whole tree, judged against the
+# committed known-flaky baseline (nightly in CI). The `go test` exit
+# code is ignored on purpose: failures are the detector's input, and
+# flare-impact fails the target only on NEWLY flaky tests.
+FLAKY_COUNT ?= 5
+flaky-hunt:
+	@mkdir -p results
+	$(GO) test -count=$(FLAKY_COUNT) -json ./... > results/flaky-stream.json || true
+	$(GO) run ./cmd/flare-impact -flaky-stream -in results/flaky-stream.json \
+		-flaky-baseline results/flaky-baseline.json -out results/flaky-report.json
 
 # CPU profile of the pipeline-stage benchmark (the profiler/analyzer hot
 # path). Prints the top inclusive entries and leaves results/cpu.pprof

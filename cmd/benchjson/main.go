@@ -20,27 +20,20 @@
 //
 // It prints a per-benchmark/per-stage delta table and exits 1 when any
 // timing slowed down by more than the tolerance percentage.
+//
+// Parsing and comparison live in internal/impact (the two-tree impact
+// runner uses the same logic); this command is the thin CLI over them.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
-)
 
-// Report is the emitted document: every quantity is ns/op.
-type Report struct {
-	// Benchmarks maps benchmark name to its ns/op.
-	Benchmarks map[string]float64 `json:"benchmarks"`
-	// Stages maps a pipeline stage (e.g. "analyze.kmeans") to its mean
-	// wall time in ns/op, parsed from the "-ms" custom metrics.
-	Stages map[string]float64 `json:"stages"`
-}
+	"flare/internal/impact"
+)
 
 func main() {
 	in := flag.String("in", "", "benchmark output to parse (default stdin)")
@@ -67,7 +60,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	rep, err := parse(r)
+	rep, err := impact.ParseBench(r)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,7 +73,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := write(w, rep); err != nil {
+	if err := rep.WriteJSON(w); err != nil {
 		fatal(err)
 	}
 }
@@ -90,52 +83,38 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parse scans benchmark lines. A line is
-//
-//	BenchmarkName  <iters>  <value> <unit>  <value> <unit> ...
-//
-// Units ending in "-ms" are stage metrics (milliseconds per op);
-// "ns/op" is the benchmark's own timing. Everything else is ignored.
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{
-		Benchmarks: map[string]float64{},
-		Stages:     map[string]float64{},
+// runCompare implements the -compare mode; it returns the process exit
+// code (1 when regressions were found).
+func runCompare(basePath, headPath, outPath string, tolerancePct float64) int {
+	base, err := impact.ReadBenchReport(basePath)
+	if err != nil {
+		fatal(err)
 	}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
+	head, err := impact.ReadBenchReport(headPath)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := impact.CompareBench(base, head, tolerancePct)
+	cmp.WriteTable(os.Stdout)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
 		}
-		name := fields[0]
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
-			}
-			unit := fields[i+1]
-			switch {
-			case unit == "ns/op":
-				rep.Benchmarks[name] = v
-			case strings.HasSuffix(unit, "-ms"):
-				rep.Stages[strings.TrimSuffix(unit, "-ms")] = v * 1e6
-			}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if cmp.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%%\n",
+			cmp.Regressions, cmp.TolerancePct)
+		return 1
 	}
-	if len(rep.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no benchmark lines found")
-	}
-	return rep, nil
-}
-
-// write emits deterministic JSON (sorted keys, trailing newline) so the
-// file diffs cleanly between runs.
-func write(w io.Writer, rep *Report) error {
-	// encoding/json sorts map keys, so the output is stable across runs.
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return 0
 }

@@ -1,0 +1,215 @@
+// Flaky-test detection over test2json event streams. `go test -json
+// -count=N` emits one terminal event (pass/fail/skip) per test per run;
+// a test that lands on both sides across runs is flaky — the class of
+// failure that erodes trust in CI fastest, because every red build it
+// causes trains people to re-run instead of read. The detector separates
+// three populations: stable, flaky (mixed outcomes, with failure-rate
+// stats), and broken (fails every run — a real failure, not flakiness).
+package impact
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TestEvent is one test2json record (the fields the detector consumes).
+type TestEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// TestStats accumulates one test's outcomes across repeated runs.
+type TestStats struct {
+	Package     string  `json:"package"`
+	Test        string  `json:"test"`
+	Runs        int     `json:"runs"`
+	Passes      int     `json:"passes"`
+	Fails       int     `json:"fails"`
+	Skips       int     `json:"skips"`
+	FailureRate float64 `json:"failure_rate"`
+	// FailOutput holds the tail of the most recent failing run's output
+	// (bounded) so the verdict is diagnosable without re-running.
+	FailOutput []string `json:"fail_output,omitempty"`
+}
+
+// ID names the test unambiguously across packages.
+func (ts *TestStats) ID() string { return ts.Package + "." + ts.Test }
+
+// maxFailOutputLines bounds how much failing output one test retains.
+const maxFailOutputLines = 40
+
+// FlakyDetector consumes test2json streams and classifies tests.
+type FlakyDetector struct {
+	stats map[string]*TestStats
+	// pending buffers output lines per running test until its terminal
+	// event decides whether they were a failure worth keeping.
+	pending map[string][]string
+}
+
+// NewFlakyDetector returns an empty detector; Consume may be called for
+// several streams (e.g. one per package sweep) before Report.
+func NewFlakyDetector() *FlakyDetector {
+	return &FlakyDetector{
+		stats:   map[string]*TestStats{},
+		pending: map[string][]string{},
+	}
+}
+
+// Consume reads one test2json stream. Lines that do not parse as JSON
+// events are skipped: interleaved build noise must not kill the
+// analysis of everything else.
+func (d *FlakyDetector) Consume(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev TestEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		d.consume(ev)
+	}
+	return sc.Err()
+}
+
+func (d *FlakyDetector) consume(ev TestEvent) {
+	if ev.Test == "" {
+		return // package-level event
+	}
+	key := ev.Package + "." + ev.Test
+	switch ev.Action {
+	case "output":
+		buf := append(d.pending[key], ev.Output)
+		if len(buf) > maxFailOutputLines {
+			buf = buf[len(buf)-maxFailOutputLines:]
+		}
+		d.pending[key] = buf
+	case "pass", "fail", "skip":
+		ts := d.stats[key]
+		if ts == nil {
+			ts = &TestStats{Package: ev.Package, Test: ev.Test}
+			d.stats[key] = ts
+		}
+		ts.Runs++
+		switch ev.Action {
+		case "pass":
+			ts.Passes++
+		case "fail":
+			ts.Fails++
+			ts.FailOutput = d.pending[key]
+			d.pending[key] = nil
+		case "skip":
+			ts.Skips++
+		}
+		if ev.Action != "fail" {
+			delete(d.pending, key)
+		}
+	}
+}
+
+// FlakyReport is the classified outcome of all consumed streams.
+type FlakyReport struct {
+	TestsSeen int          `json:"tests_seen"`
+	Flaky     []*TestStats `json:"flaky,omitempty"`
+	Broken    []*TestStats `json:"broken,omitempty"`
+}
+
+// Report classifies every observed test. Flaky means mixed pass/fail
+// across runs; broken means it failed every run it was not skipped.
+// Parent tests of failing subtests count like any other (a parent that
+// fails only when its flaky child fails shows up flaky too — correctly,
+// since it reddens the build the same way).
+func (d *FlakyDetector) Report() *FlakyReport {
+	rep := &FlakyReport{TestsSeen: len(d.stats)}
+	for _, ts := range d.stats {
+		if ts.Fails == 0 {
+			continue
+		}
+		ts.FailureRate = float64(ts.Fails) / float64(ts.Runs)
+		if ts.Passes > 0 {
+			rep.Flaky = append(rep.Flaky, ts)
+		} else {
+			rep.Broken = append(rep.Broken, ts)
+		}
+	}
+	byID := func(s []*TestStats) func(i, j int) bool {
+		return func(i, j int) bool { return s[i].ID() < s[j].ID() }
+	}
+	sort.Slice(rep.Flaky, byID(rep.Flaky))
+	sort.Slice(rep.Broken, byID(rep.Broken))
+	return rep
+}
+
+// Baseline is the committed list of already-known flaky tests. The
+// nightly hunt fails only on NEWLY flaky tests, so one long-standing
+// flake does not mask every new one while it awaits a fix.
+type Baseline struct {
+	// Flaky holds known-flaky test IDs (package.Test).
+	Flaky []string `json:"flaky"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error (the first hunt has nothing to compare to).
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b Baseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func (b *Baseline) has(id string) bool {
+	for _, known := range b.Flaky {
+		if known == id {
+			return true
+		}
+	}
+	return false
+}
+
+// NewlyFlaky filters the report's flaky tests down to those absent from
+// the baseline. A nil baseline means everything flaky is new.
+func (r *FlakyReport) NewlyFlaky(b *Baseline) []*TestStats {
+	var out []*TestStats
+	for _, ts := range r.Flaky {
+		if b == nil || !b.has(ts.ID()) {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// WriteText renders the report for terminal/CI logs.
+func (r *FlakyReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "tests seen: %d, flaky: %d, broken: %d\n",
+		r.TestsSeen, len(r.Flaky), len(r.Broken))
+	dump := func(label string, tests []*TestStats) {
+		for _, ts := range tests {
+			fmt.Fprintf(w, "%s %s: %d/%d runs failed (%.0f%%)\n",
+				label, ts.ID(), ts.Fails, ts.Runs, 100*ts.FailureRate)
+			for _, line := range ts.FailOutput {
+				fmt.Fprintf(w, "    %s", strings.TrimRight(line, "\n")+"\n")
+			}
+		}
+	}
+	dump("FLAKY", r.Flaky)
+	dump("BROKEN", r.Broken)
+}

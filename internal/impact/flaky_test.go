@@ -1,0 +1,125 @@
+package impact
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream renders test2json lines for a sequence of (test, action) runs.
+func eventLine(pkg, test, action, output string) string {
+	var sb strings.Builder
+	sb.WriteString(`{"Action":"` + action + `","Package":"` + pkg + `"`)
+	if test != "" {
+		sb.WriteString(`,"Test":"` + test + `"`)
+	}
+	if output != "" {
+		sb.WriteString(`,"Output":"` + output + `"`)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// cannedStream simulates `go test -count=3 -json` over one package with
+// a stable test, a flaky test (fails run 2 of 3), and a broken test
+// (fails all runs).
+func cannedStream() string {
+	var sb strings.Builder
+	pkg := "flare/internal/example"
+	for run := 1; run <= 3; run++ {
+		sb.WriteString(eventLine(pkg, "TestStable", "run", ""))
+		sb.WriteString(eventLine(pkg, "TestStable", "pass", ""))
+
+		sb.WriteString(eventLine(pkg, "TestFlaky", "run", ""))
+		if run == 2 {
+			sb.WriteString(eventLine(pkg, "TestFlaky", "output", "    flaky_test.go:10: boom\\n"))
+			sb.WriteString(eventLine(pkg, "TestFlaky", "fail", ""))
+		} else {
+			sb.WriteString(eventLine(pkg, "TestFlaky", "pass", ""))
+		}
+
+		sb.WriteString(eventLine(pkg, "TestBroken", "run", ""))
+		sb.WriteString(eventLine(pkg, "TestBroken", "fail", ""))
+
+		sb.WriteString(eventLine(pkg, "TestSkipped", "run", ""))
+		sb.WriteString(eventLine(pkg, "TestSkipped", "skip", ""))
+	}
+	// Package-level terminal event and some non-JSON noise.
+	sb.WriteString(eventLine(pkg, "", "fail", ""))
+	sb.WriteString("FAIL\tflare/internal/example\t0.41s\n")
+	return sb.String()
+}
+
+func TestFlakyDetectorClassifies(t *testing.T) {
+	det := NewFlakyDetector()
+	if err := det.Consume(strings.NewReader(cannedStream())); err != nil {
+		t.Fatal(err)
+	}
+	rep := det.Report()
+	if rep.TestsSeen != 4 {
+		t.Errorf("tests seen = %d, want 4", rep.TestsSeen)
+	}
+	if len(rep.Flaky) != 1 || rep.Flaky[0].Test != "TestFlaky" {
+		t.Fatalf("flaky = %+v, want exactly TestFlaky", rep.Flaky)
+	}
+	f := rep.Flaky[0]
+	if f.Runs != 3 || f.Fails != 1 || f.Passes != 2 {
+		t.Errorf("TestFlaky runs/fails/passes = %d/%d/%d, want 3/1/2", f.Runs, f.Fails, f.Passes)
+	}
+	if f.FailureRate < 0.33 || f.FailureRate > 0.34 {
+		t.Errorf("failure rate = %v, want ~1/3", f.FailureRate)
+	}
+	if len(f.FailOutput) == 0 || !strings.Contains(f.FailOutput[0], "boom") {
+		t.Errorf("failing output not retained: %v", f.FailOutput)
+	}
+	if len(rep.Broken) != 1 || rep.Broken[0].Test != "TestBroken" {
+		t.Fatalf("broken = %+v, want exactly TestBroken", rep.Broken)
+	}
+}
+
+func TestFlakyDetectorMultipleStreams(t *testing.T) {
+	det := NewFlakyDetector()
+	pkg := "flare/internal/example"
+	// Same test passes in stream one, fails in stream two: still flaky.
+	s1 := eventLine(pkg, "TestX", "run", "") + eventLine(pkg, "TestX", "pass", "")
+	s2 := eventLine(pkg, "TestX", "run", "") + eventLine(pkg, "TestX", "fail", "")
+	if err := det.Consume(strings.NewReader(s1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Consume(strings.NewReader(s2)); err != nil {
+		t.Fatal(err)
+	}
+	rep := det.Report()
+	if len(rep.Flaky) != 1 || rep.Flaky[0].Runs != 2 {
+		t.Fatalf("cross-stream accumulation broken: %+v", rep.Flaky)
+	}
+}
+
+func TestNewlyFlakyBaseline(t *testing.T) {
+	det := NewFlakyDetector()
+	if err := det.Consume(strings.NewReader(cannedStream())); err != nil {
+		t.Fatal(err)
+	}
+	rep := det.Report()
+
+	if got := rep.NewlyFlaky(nil); len(got) != 1 {
+		t.Fatalf("nil baseline: newly flaky = %d, want 1", len(got))
+	}
+	known := &Baseline{Flaky: []string{"flare/internal/example.TestFlaky"}}
+	if got := rep.NewlyFlaky(known); len(got) != 0 {
+		t.Fatalf("known flake still reported new: %+v", got)
+	}
+	other := &Baseline{Flaky: []string{"flare/internal/example.TestOther"}}
+	if got := rep.NewlyFlaky(other); len(got) != 1 {
+		t.Fatalf("unrelated baseline suppressed the flake")
+	}
+}
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(t.TempDir() + "/does-not-exist.json")
+	if err != nil {
+		t.Fatalf("missing baseline file errored: %v", err)
+	}
+	if len(b.Flaky) != 0 {
+		t.Fatalf("missing baseline not empty: %+v", b)
+	}
+}

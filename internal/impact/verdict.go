@@ -1,0 +1,110 @@
+// The verdict document: one machine-readable pass/fail judgement over a
+// base/head tree pair, with every contributing check itemised so a red
+// verdict says exactly which property broke.
+package impact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// GoldenResult is one tree's determinism-check outcome.
+type GoldenResult struct {
+	Tree   string `json:"tree"` // "base" | "head"
+	Dir    string `json:"dir"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"` // failing output tail
+}
+
+// Check is one named contribution to the verdict.
+type Check struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Verdict is the emitted document.
+type Verdict struct {
+	BaseDir      string           `json:"base_dir"`
+	HeadDir      string           `json:"head_dir"`
+	TolerancePct float64          `json:"tolerance_pct"`
+	Golden       []GoldenResult   `json:"golden"`
+	Bench        *BenchComparison `json:"bench,omitempty"`
+	BenchReruns  int              `json:"bench_reruns,omitempty"`
+	Flaky        *FlakyReport     `json:"flaky,omitempty"`
+	NewlyFlaky   []*TestStats     `json:"newly_flaky,omitempty"`
+	Checks       []Check          `json:"checks"`
+	Pass         bool             `json:"pass"`
+}
+
+// judge derives Checks and Pass from the collected evidence.
+func (v *Verdict) judge() {
+	v.Checks = v.Checks[:0]
+	add := func(name string, pass bool, detail string) {
+		v.Checks = append(v.Checks, Check{Name: name, Pass: pass, Detail: detail})
+	}
+	for _, g := range v.Golden {
+		add("golden-"+g.Tree, g.Pass, g.Detail)
+	}
+	if v.Bench != nil {
+		detail := ""
+		for _, r := range v.Bench.Regressed() {
+			detail += fmt.Sprintf("%s +%.1f%%; ", r.Name, r.DeltaPct)
+		}
+		add("bench-regressions", v.Bench.Regressions == 0, detail)
+	}
+	if v.Flaky != nil {
+		var flakyDetail, brokenDetail string
+		for _, ts := range v.NewlyFlaky {
+			flakyDetail += fmt.Sprintf("%s (%d/%d failed); ", ts.ID(), ts.Fails, ts.Runs)
+		}
+		for _, ts := range v.Flaky.Broken {
+			brokenDetail += ts.ID() + "; "
+		}
+		add("newly-flaky", len(v.NewlyFlaky) == 0, flakyDetail)
+		add("broken-tests", len(v.Flaky.Broken) == 0, brokenDetail)
+	}
+	v.Pass = true
+	for _, c := range v.Checks {
+		if !c.Pass {
+			v.Pass = false
+		}
+	}
+}
+
+// WriteJSON emits the verdict with stable formatting.
+func (v *Verdict) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteText renders a human-readable digest: the check list, the bench
+// table, and any flaky findings.
+func (v *Verdict) WriteText(w io.Writer) {
+	verdict := "PASS"
+	if !v.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "impact verdict: %s (base=%s head=%s)\n", verdict, v.BaseDir, v.HeadDir)
+	for _, c := range v.Checks {
+		mark := "ok  "
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s", mark, c.Name)
+		if c.Detail != "" {
+			fmt.Fprintf(w, " — %s", c.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	if v.Bench != nil {
+		fmt.Fprintln(w)
+		v.Bench.WriteTable(w)
+	}
+	if v.Flaky != nil && (len(v.Flaky.Flaky) > 0 || len(v.Flaky.Broken) > 0) {
+		fmt.Fprintln(w)
+		v.Flaky.WriteText(w)
+	}
+}

@@ -1,0 +1,123 @@
+// Package loadgen drives a flare-server (or an in-process handler such
+// as a flare-cluster node) with a deterministic, weighted HTTP request
+// mix and records what came back: per-request latencies into mergeable
+// histograms (obs.HistogramState), status-code accounting split into
+// the server's orderly resilience outcomes (shed 429s, bounded-timeout
+// 503s, degraded last-known-good bodies) versus real errors, and an
+// optional cross-check of the client-side counts against the server's
+// own /metrics counters.
+//
+// The request schedule is a pure function of its ScheduleConfig: two
+// runs with the same seed against the same build issue byte-identical
+// request sequences (Schedule.WriteTo), which is what makes load runs
+// comparable across builds and lets CI assert resilience expectations
+// (-assert-p99, -assert-max-error-rate, -assert-shed-min) instead of
+// eyeballing dashboards. See cmd/flare-loadgen for the CLI.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is one kind of request the generator can issue.
+type Op string
+
+const (
+	// OpEstimate hits GET /api/estimate?feature=F[&job=J].
+	OpEstimate Op = "estimate"
+	// OpBatch hits GET /api/estimate/batch?features=F1,F2,...
+	OpBatch Op = "batch"
+	// OpDBQuery hits GET /api/db/query?table=T&offset=O&limit=L.
+	OpDBQuery Op = "dbquery"
+	// OpTick POSTs a re-measure tick ({"changed":[...]}) to /api/tick.
+	OpTick Op = "tick"
+)
+
+// Route returns the mux pattern the op lands on — the label value the
+// server's flare_http_requests_total counter uses for it.
+func (o Op) Route() string {
+	switch o {
+	case OpEstimate:
+		return "/api/estimate"
+	case OpBatch:
+		return "/api/estimate/batch"
+	case OpDBQuery:
+		return "/api/db/query"
+	case OpTick:
+		return "/api/tick"
+	}
+	return ""
+}
+
+// Ops lists every op in a fixed report order.
+func Ops() []Op { return []Op{OpEstimate, OpBatch, OpDBQuery, OpTick} }
+
+// MixEntry weights one op within the request mix.
+type MixEntry struct {
+	Op     Op  `json:"op"`
+	Weight int `json:"weight"`
+}
+
+// DefaultMix is an estimate-heavy production-shaped blend.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{OpEstimate, 60},
+		{OpBatch, 20},
+		{OpDBQuery, 15},
+		{OpTick, 5},
+	}
+}
+
+// ParseMix parses "op:weight,op:weight,..." (e.g. "estimate:70,tick:5").
+// Weights are positive integers; each op may appear once.
+func ParseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	seen := map[Op]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not op:weight", part)
+		}
+		op := Op(strings.TrimSpace(name))
+		if op.Route() == "" {
+			return nil, fmt.Errorf("loadgen: unknown op %q (estimate|batch|dbquery|tick)", name)
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("loadgen: op %q repeated in mix", op)
+		}
+		seen[op] = true
+		weight, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %q: weight must be a positive integer", part)
+		}
+		mix = append(mix, MixEntry{Op: op, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix %q", s)
+	}
+	return mix, nil
+}
+
+// FormatMix renders a mix back into the ParseMix grammar (report use).
+func FormatMix(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = string(m.Op) + ":" + strconv.Itoa(m.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// sortedCopy returns a sorted copy of names — preflight discovery must
+// not leak map/listing order into the schedule.
+func sortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,131 @@
+// Minimal Prometheus text-exposition reader, enough to cross-check the
+// generator's client-side accounting against the counters flare-server
+// publishes at /metrics. The cross-check closes the loop on the
+// resilience claims: a shed the client saw but the server did not count
+// (or vice versa) fails the run.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricSet holds parsed sample values: family name → rendered label
+// block ("" for unlabelled) → value.
+type MetricSet map[string]map[string]float64
+
+// ParseMetrics reads a Prometheus text exposition (version 0.0.4) and
+// returns every non-comment sample. Histogram series (_bucket/_sum/
+// _count) parse like any other family; the cross-check only consults
+// counters.
+func ParseMetrics(r io.Reader) (MetricSet, error) {
+	set := MetricSet{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		fam := set[name]
+		if fam == nil {
+			fam = map[string]float64{}
+			set[name] = fam
+		}
+		fam[labels] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// parseSample splits `name{labels} value` (or `name value`). The label
+// block is kept as rendered — sufficient for exact-match lookups — but
+// must be scanned, not split on spaces, because label values may contain
+// spaces and escaped quotes.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := closeBrace(line, i)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("loadgen: unterminated label block in %q", line)
+		}
+		labels = line[i : end+1]
+		rest = line[end+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("loadgen: bad sample line %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	valStr := strings.Fields(strings.TrimSpace(rest))
+	if len(valStr) == 0 {
+		return "", "", 0, fmt.Errorf("loadgen: sample line %q has no value", line)
+	}
+	value, err = strconv.ParseFloat(valStr[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("loadgen: sample line %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// closeBrace finds the index of the '}' closing the label block opened
+// at open, honouring quoted values with backslash escapes.
+func closeBrace(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Sum totals every series of a family; a missing family sums to 0.
+func (m MetricSet) Sum(family string) float64 {
+	var total float64
+	for _, v := range m[family] {
+		total += v
+	}
+	return total
+}
+
+// SumLabel totals the series of a family whose label block contains
+// key="value" (exact rendered pair).
+func (m MetricSet) SumLabel(family, key, value string) float64 {
+	needle := key + `="` + escapeLabel(value) + `"`
+	var total float64
+	for labels, v := range m[family] {
+		if strings.Contains(labels, needle) {
+			total += v
+		}
+	}
+	return total
+}
+
+// escapeLabel mirrors the exposition format's label-value escaping.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP flare_shed_total requests shed
+# TYPE flare_shed_total counter
+flare_shed_total 12
+# TYPE flare_http_requests_total counter
+flare_http_requests_total{route="/api/estimate",code="200"} 90
+flare_http_requests_total{route="/api/estimate",code="429"} 12
+flare_http_requests_total{route="/api/db/query",code="200"} 30
+flare_weird_label_total{msg="a \"quoted\" value, with {braces} and spaces"} 3
+flare_http_request_duration_seconds_bucket{route="/api/estimate",le="0.1"} 80
+flare_http_request_duration_seconds_sum{route="/api/estimate"} 4.25
+`
+
+func TestParseMetrics(t *testing.T) {
+	set, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Sum("flare_shed_total"); got != 12 {
+		t.Errorf("Sum(flare_shed_total) = %v, want 12", got)
+	}
+	if got := set.Sum("flare_http_requests_total"); got != 132 {
+		t.Errorf("Sum(flare_http_requests_total) = %v, want 132", got)
+	}
+	if got := set.SumLabel("flare_http_requests_total", "route", "/api/estimate"); got != 102 {
+		t.Errorf("SumLabel(route=/api/estimate) = %v, want 102", got)
+	}
+	if got := set.SumLabel("flare_http_requests_total", "code", "429"); got != 12 {
+		t.Errorf("SumLabel(code=429) = %v, want 12", got)
+	}
+	// Label values with escaped quotes, braces, and spaces must not
+	// confuse the label-block scanner.
+	if got := set.Sum("flare_weird_label_total"); got != 3 {
+		t.Errorf("Sum(flare_weird_label_total) = %v, want 3", got)
+	}
+	if got := set.SumLabel("flare_weird_label_total", "msg",
+		`a "quoted" value, with {braces} and spaces`); got != 3 {
+		t.Errorf("SumLabel on escaped value = %v, want 3", got)
+	}
+	// Missing families sum to zero rather than erroring: counters that
+	// never fired simply have no series yet.
+	if got := set.Sum("flare_absent_total"); got != 0 {
+		t.Errorf("Sum(absent) = %v, want 0", got)
+	}
+}
+
+func TestParseMetricsErrors(t *testing.T) {
+	for _, bad := range []string{
+		`flare_x{route="/a" 1`, // unterminated label block
+		`flare_x`,              // no value
+		`flare_x notanumber`,   // bad value
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) did not error", bad)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Machine-readable run reports with explicit pass/fail assertions.
+// flare-loadgen writes one of these per run; CI archives it as an
+// artifact and fails the job on Pass == false, which is what turns
+// "fast and resilient" into a continuously enforced claim.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"flare/internal/obs"
+)
+
+// LatencySummary quotes the headline quantiles of one distribution, in
+// milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms,omitempty"`
+}
+
+func summarize(st obs.HistogramState, maxSec float64) LatencySummary {
+	s := LatencySummary{Count: st.Count, MaxMs: maxSec * 1000}
+	if st.Count > 0 {
+		s.MeanMs = st.Sum / float64(st.Count) * 1000
+	}
+	s.P50Ms = st.Quantile(0.5) * 1000
+	s.P90Ms = st.Quantile(0.9) * 1000
+	s.P99Ms = st.Quantile(0.99) * 1000
+	s.P999Ms = st.Quantile(0.999) * 1000
+	return s
+}
+
+// Asserts are the run's pass/fail expectations; zero values disable
+// each check (Min* fields use -1 as "off" so "at least 0" stays
+// expressible, but the CLI defaults them to off).
+type Asserts struct {
+	// P99 fails the run when the overall p99 exceeds it.
+	P99 time.Duration
+	// MaxErrorRate fails the run when errors/issued exceeds it. Errors
+	// are transport failures and 5xx responses excluding orderly 503s
+	// (bounded timeouts, degraded misses) — shedding and timing out are
+	// resilience working, 500s are not. Negative disables.
+	MaxErrorRate float64
+	// ShedMin fails the run when fewer than this many requests were shed
+	// (used under a fault/overload spec to prove shedding engaged).
+	// Negative disables.
+	ShedMin int64
+	// TimeoutMin, DegradedMin: same shape as ShedMin for the other two
+	// orderly outcomes. Negative disables.
+	TimeoutMin  int64
+	DegradedMin int64
+	// CrossCheck fails the run when the client/server accounting
+	// comparison (Options.VerifyMetrics) found any mismatch.
+	CrossCheck bool
+}
+
+// Assertion is one evaluated expectation.
+type Assertion struct {
+	Name string `json:"name"`
+	Want string `json:"want"`
+	Got  string `json:"got"`
+	Pass bool   `json:"pass"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Target              string                    `json:"target"`
+	Mode                string                    `json:"mode"` // closed | open
+	Workers             int                       `json:"workers"`
+	QPS                 float64                   `json:"qps,omitempty"`
+	Mix                 string                    `json:"mix"`
+	Schedule            ScheduleConfig            `json:"schedule"`
+	ScheduleFingerprint string                    `json:"schedule_fingerprint"`
+	ElapsedMs           float64                   `json:"elapsed_ms"`
+	ThroughputRPS       float64                   `json:"throughput_rps"`
+	Totals              OpStats                   `json:"totals"`
+	ErrorRate           float64                   `json:"error_rate"`
+	Latency             LatencySummary            `json:"latency"`
+	PerOp               map[string]OpStats        `json:"per_op"`
+	PerOpLatency        map[string]LatencySummary `json:"per_op_latency"`
+	Histogram           obs.HistogramState        `json:"histogram"`
+	CrossCheck          *CrossCheck               `json:"cross_check,omitempty"`
+	Assertions          []Assertion               `json:"assertions,omitempty"`
+	Pass                bool                      `json:"pass"`
+}
+
+// BuildReport renders a Result plus assertions into the report document.
+func BuildReport(target string, res *Result, asserts Asserts) *Report {
+	rep := &Report{
+		Target:              target,
+		Mode:                "closed",
+		Workers:             res.Options.Workers,
+		QPS:                 res.Options.QPS,
+		Mix:                 FormatMix(res.Schedule.Config.Mix),
+		Schedule:            res.Schedule.Config,
+		ScheduleFingerprint: res.Schedule.Fingerprint(),
+		ElapsedMs:           float64(res.Elapsed) / float64(time.Millisecond),
+		Totals:              res.Totals,
+		Latency:             summarize(res.Hist, res.MaxSec),
+		PerOp:               map[string]OpStats{},
+		PerOpLatency:        map[string]LatencySummary{},
+		Histogram:           res.Hist,
+		CrossCheck:          res.Cross,
+		Pass:                true,
+	}
+	if rep.Workers <= 0 {
+		rep.Workers = 1
+	}
+	if res.Options.QPS > 0 {
+		rep.Mode = "open"
+	}
+	if res.Elapsed > 0 {
+		rep.ThroughputRPS = float64(res.Totals.Done) / res.Elapsed.Seconds()
+	}
+	if res.Totals.Issued > 0 {
+		rep.ErrorRate = float64(res.Totals.Errors) / float64(res.Totals.Issued)
+	}
+	for _, op := range Ops() {
+		if stats := res.PerOp[op]; stats.Issued > 0 {
+			rep.PerOp[string(op)] = *stats
+			rep.PerOpLatency[string(op)] = summarize(res.PerOpH[op], 0)
+		}
+	}
+
+	check := func(name, want, got string, pass bool) {
+		rep.Assertions = append(rep.Assertions, Assertion{Name: name, Want: want, Got: got, Pass: pass})
+		if !pass {
+			rep.Pass = false
+		}
+	}
+	if asserts.P99 > 0 {
+		p99 := time.Duration(res.Hist.Quantile(0.99) * float64(time.Second))
+		check("p99", "<= "+asserts.P99.String(), p99.String(), p99 <= asserts.P99)
+	}
+	if asserts.MaxErrorRate >= 0 {
+		check("error_rate", fmt.Sprintf("<= %.4f", asserts.MaxErrorRate),
+			fmt.Sprintf("%.4f", rep.ErrorRate), rep.ErrorRate <= asserts.MaxErrorRate)
+	}
+	minCheck := func(name string, min int64, got uint64) {
+		if min >= 0 {
+			check(name, fmt.Sprintf(">= %d", min), fmt.Sprintf("%d", got), got >= uint64(min))
+		}
+	}
+	minCheck("shed_min", asserts.ShedMin, res.Totals.Shed)
+	minCheck("timeout_min", asserts.TimeoutMin, res.Totals.Timeouts)
+	minCheck("degraded_min", asserts.DegradedMin, res.Totals.Degraded)
+	if asserts.CrossCheck {
+		pass := res.Cross != nil && res.Cross.Pass
+		got := "not run"
+		if res.Cross != nil {
+			got = fmt.Sprintf("pass=%v (%d checks)", res.Cross.Pass, len(res.Cross.Checks))
+		}
+		check("metrics_cross_check", "exact match", got, pass)
+	}
+	return rep
+}
+
+// WriteJSON emits the report with stable formatting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders a terse human-readable digest for terminal output.
+func (r *Report) Summary() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"%s: %d issued, %d ok, %d shed, %d timeouts, %d degraded, %d errors | p50 %.1fms p99 %.1fms p999 %.1fms | %.0f req/s | %s",
+		r.Mode, r.Totals.Issued, r.Totals.OK, r.Totals.Shed, r.Totals.Timeouts,
+		r.Totals.Degraded, r.Totals.Errors,
+		r.Latency.P50Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.ThroughputRPS, verdict)
+}

@@ -1,0 +1,222 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"flare/internal/obs"
+)
+
+// stubServer mimics flare-server's outcome accounting without the
+// pipeline behind it: a deterministic outcome per request sequence
+// number, counted into real obs counters and exposed at /metrics. It
+// lets the classification and cross-check logic be tested exactly —
+// including the failure mode where the server under-counts.
+type stubServer struct {
+	reg  *obs.Registry
+	mux  *http.ServeMux
+	seq  atomic.Uint64
+	skip atomic.Uint64 // sheds to leave uncounted (simulated server bug)
+}
+
+func newStubServer() *stubServer {
+	s := &stubServer{reg: obs.NewRegistry(), mux: http.NewServeMux()}
+	for _, op := range Ops() {
+		route := op.Route()
+		s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			s.serve(w, route)
+		})
+	}
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		_ = s.reg.WritePrometheus(w)
+	})
+	return s
+}
+
+func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// serve hands out outcomes round-robin by sequence number: shed, orderly
+// timeout, degraded-miss 503, degraded 200, plain 200. Counters move
+// exactly when the corresponding response is written, as in the real
+// server after the serve-time accounting fix.
+func (s *stubServer) serve(w http.ResponseWriter, route string) {
+	n := s.seq.Add(1)
+	code := http.StatusOK
+	defer func() {
+		s.reg.Counter("flare_http_requests_total", "requests",
+			"route", route, "code", strconv.Itoa(code)).Inc()
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	switch n % 5 {
+	case 0:
+		code = http.StatusTooManyRequests
+		if s.skip.Load() > 0 {
+			s.skip.Add(^uint64(0))
+		} else {
+			s.reg.Counter("flare_shed_total", "shed").Inc()
+		}
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(`{"error":"over capacity"}`))
+	case 1:
+		code = http.StatusServiceUnavailable
+		s.reg.Counter("flare_request_timeouts_total", "timeouts", "route", route).Inc()
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(`{"error":"feature \"x\": estimate still computing after 10ms; retry later"}`))
+	case 2:
+		code = http.StatusServiceUnavailable
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(`{"error":"store unhealthy and no last-known-good"}`))
+	case 3:
+		// Degraded responses only exist on the estimate routes; batch
+		// bodies carry the flag per element, exactly like the server.
+		switch route {
+		case OpEstimate.Route():
+			s.reg.Counter("flare_degraded_responses_total", "degraded").Inc()
+			_, _ = w.Write([]byte(`{"feature":"x","degraded":true}`))
+		case OpBatch.Route():
+			s.reg.Counter("flare_degraded_responses_total", "degraded").Add(2)
+			_, _ = w.Write([]byte(`{"estimates":[{"degraded":true},{"degraded":false},{"degraded":true}]}`))
+		default:
+			_, _ = w.Write([]byte(`{"ok":true}`))
+		}
+	default:
+		_, _ = w.Write([]byte(`{"feature":"x","degraded":false}`))
+	}
+}
+
+func stubSchedule(t *testing.T, n int) *Schedule {
+	t.Helper()
+	sched, err := BuildSchedule(testConfig(11, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestRunClassifiesAndCrossChecks(t *testing.T) {
+	stub := newStubServer()
+	sched := stubSchedule(t, 500)
+	res, err := Run(context.Background(), HandlerTarget(stub),
+		sched, Options{Workers: 8, VerifyMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Issued != 500 || res.Totals.Done != 500 {
+		t.Fatalf("issued/done = %d/%d, want 500/500", res.Totals.Issued, res.Totals.Done)
+	}
+	// 500 sequence numbers → 100 per residue class.
+	if res.Totals.Shed != 100 {
+		t.Errorf("shed = %d, want 100", res.Totals.Shed)
+	}
+	if res.Totals.Timeouts != 100 {
+		t.Errorf("timeouts = %d, want 100", res.Totals.Timeouts)
+	}
+	if res.Totals.Unavailable != 100 {
+		t.Errorf("unavailable = %d, want 100", res.Totals.Unavailable)
+	}
+	// Which residue-3 requests land on an estimate route depends on
+	// worker interleaving, so only the cross-check (client count ==
+	// server count) pins degraded exactly; here it just must be live.
+	if res.Totals.Degraded == 0 {
+		t.Error("degraded = 0, want > 0")
+	}
+	if res.Totals.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (orderly 503s are not errors)", res.Totals.Errors)
+	}
+	if res.Totals.OK != 200 {
+		t.Errorf("ok = %d, want 200", res.Totals.OK)
+	}
+	if res.Hist.Count != 500 {
+		t.Errorf("histogram count = %d, want 500", res.Hist.Count)
+	}
+	if res.Cross == nil || !res.Cross.Pass {
+		t.Fatalf("cross-check did not pass: %+v", res.Cross)
+	}
+}
+
+// A server that loses one counter increment must fail the cross-check —
+// that is the whole point of running it.
+func TestRunCrossCheckCatchesServerUndercount(t *testing.T) {
+	stub := newStubServer()
+	stub.skip.Store(1)
+	sched := stubSchedule(t, 200)
+	res, err := Run(context.Background(), HandlerTarget(stub),
+		sched, Options{Workers: 4, VerifyMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cross == nil || res.Cross.Pass {
+		t.Fatal("cross-check passed despite a lost shed increment")
+	}
+	var sawShedMismatch bool
+	for _, c := range res.Cross.Checks {
+		if !c.Match && c.Client == c.Server+1 {
+			sawShedMismatch = true
+		}
+	}
+	if !sawShedMismatch {
+		t.Fatalf("expected an off-by-one shed row, got %+v", res.Cross.Checks)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	stub := newStubServer()
+	sched := stubSchedule(t, 120)
+	res, err := Run(context.Background(), HandlerTarget(stub),
+		sched, Options{Workers: 4, QPS: 4000, VerifyMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Done != 120 {
+		t.Fatalf("done = %d, want 120", res.Totals.Done)
+	}
+	if res.Cross == nil || !res.Cross.Pass {
+		t.Fatalf("cross-check did not pass: %+v", res.Cross)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stub := newStubServer()
+	res, err := Run(ctx, HandlerTarget(stub), stubSchedule(t, 100), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Done != 0 {
+		t.Fatalf("pre-cancelled run completed %d requests", res.Totals.Done)
+	}
+}
+
+func TestBuildReportAssertions(t *testing.T) {
+	stub := newStubServer()
+	sched := stubSchedule(t, 250)
+	res, err := Run(context.Background(), HandlerTarget(stub),
+		sched, Options{Workers: 4, VerifyMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport("stub", res, Asserts{
+		MaxErrorRate: 0,
+		ShedMin:      1,
+		TimeoutMin:   1,
+		DegradedMin:  1,
+		CrossCheck:   true,
+	})
+	if !rep.Pass {
+		t.Fatalf("report failed: %+v", rep.Assertions)
+	}
+	if rep.ScheduleFingerprint != sched.Fingerprint() {
+		t.Error("report fingerprint does not match schedule")
+	}
+
+	rep = BuildReport("stub", res, Asserts{MaxErrorRate: -1, ShedMin: 1 << 30})
+	if rep.Pass {
+		t.Fatal("unsatisfiable shed_min still passed")
+	}
+}

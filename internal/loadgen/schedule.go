@@ -1,0 +1,181 @@
+// Deterministic workload schedules. A Schedule is a pure function of
+// its ScheduleConfig: the same seed, mix, and target shape (features,
+// tables, scenario count) always produce the same request sequence,
+// byte for byte. That determinism is load-tested CI's foundation — two
+// runs against the same build are the same experiment, so latency and
+// resilience deltas between builds are attributable to the build.
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// ScheduleConfig describes the workload to generate. Features, Tables,
+// and Scenarios describe the target build (discovered via /api/summary
+// and /api/db/tables, or supplied directly); ops that cannot be formed
+// against the target — dbquery without tables, tick without a known
+// scenario population — are dropped from the effective mix.
+type ScheduleConfig struct {
+	// Seed fixes the request sequence. Equal seeds (with equal remaining
+	// fields) give byte-identical schedules.
+	Seed int64 `json:"seed"`
+	// Requests is the schedule length.
+	Requests int `json:"requests"`
+	// Mix weights the ops; nil means DefaultMix.
+	Mix []MixEntry `json:"mix"`
+	// Features are the estimable feature names (sorted internally).
+	Features []string `json:"features"`
+	// Jobs optionally adds job-filtered estimates (~1 in 4 estimate
+	// requests pick a job when non-empty).
+	Jobs []string `json:"jobs,omitempty"`
+	// Tables are the queryable metric-database tables.
+	Tables []string `json:"tables,omitempty"`
+	// Scenarios is the scenario population size; tick requests re-measure
+	// random IDs below it.
+	Scenarios int `json:"scenarios,omitempty"`
+}
+
+// Request is one scheduled HTTP request.
+type Request struct {
+	Index  int    `json:"index"`
+	Op     Op     `json:"op"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   string `json:"body,omitempty"` // tick only
+}
+
+// Schedule is a fully materialised request sequence.
+type Schedule struct {
+	Config   ScheduleConfig
+	Requests []Request
+}
+
+// maxBatchFeatures bounds how many features one batch request fans out.
+const maxBatchFeatures = 3
+
+// BuildSchedule materialises the deterministic request sequence for cfg.
+func BuildSchedule(cfg ScheduleConfig) (*Schedule, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule needs a positive request count, got %d", cfg.Requests)
+	}
+	mix := cfg.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	cfg.Mix = mix
+	cfg.Features = sortedCopy(cfg.Features)
+	cfg.Jobs = sortedCopy(cfg.Jobs)
+	cfg.Tables = sortedCopy(cfg.Tables)
+
+	// Drop ops the target cannot answer; what remains must be non-empty.
+	eff := make([]MixEntry, 0, len(mix))
+	var total int
+	for _, m := range mix {
+		switch {
+		case (m.Op == OpEstimate || m.Op == OpBatch) && len(cfg.Features) == 0:
+			continue
+		case m.Op == OpDBQuery && len(cfg.Tables) == 0:
+			continue
+		case m.Op == OpTick && cfg.Scenarios < 1:
+			continue
+		}
+		eff = append(eff, m)
+		total += m.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: no op in mix %q is satisfiable by the target (features=%d tables=%d scenarios=%d)",
+			FormatMix(mix), len(cfg.Features), len(cfg.Tables), cfg.Scenarios)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{Config: cfg, Requests: make([]Request, 0, cfg.Requests)}
+	for i := 0; i < cfg.Requests; i++ {
+		roll := rng.Intn(total)
+		var op Op
+		for _, m := range eff {
+			if roll < m.Weight {
+				op = m.Op
+				break
+			}
+			roll -= m.Weight
+		}
+		req := Request{Index: i, Op: op, Method: "GET"}
+		switch op {
+		case OpEstimate:
+			feat := cfg.Features[rng.Intn(len(cfg.Features))]
+			path := "/api/estimate?feature=" + url.QueryEscape(feat)
+			if len(cfg.Jobs) > 0 && rng.Intn(4) == 0 {
+				path += "&job=" + url.QueryEscape(cfg.Jobs[rng.Intn(len(cfg.Jobs))])
+			}
+			req.Path = path
+		case OpBatch:
+			n := len(cfg.Features)
+			if n > maxBatchFeatures {
+				n = maxBatchFeatures
+			}
+			k := 1 + rng.Intn(n)
+			perm := rng.Perm(len(cfg.Features))[:k]
+			names := make([]string, k)
+			for j, p := range perm {
+				names[j] = cfg.Features[p]
+			}
+			req.Path = "/api/estimate/batch?features=" + url.QueryEscape(strings.Join(names, ","))
+		case OpDBQuery:
+			table := cfg.Tables[rng.Intn(len(cfg.Tables))]
+			req.Path = "/api/db/query?table=" + url.QueryEscape(table) +
+				"&offset=" + strconv.Itoa(rng.Intn(50)) +
+				"&limit=" + strconv.Itoa(1+rng.Intn(100))
+		case OpTick:
+			// Re-measure only: the tick never adds scenarios, so the
+			// population (and with it this schedule's ID space) is stable
+			// across the whole run and across repeated runs.
+			k := 1 + rng.Intn(3)
+			ids := make([]string, k)
+			for j := range ids {
+				ids[j] = strconv.Itoa(rng.Intn(cfg.Scenarios))
+			}
+			req.Method = "POST"
+			req.Path = "/api/tick"
+			req.Body = `{"changed":[` + strings.Join(ids, ",") + `]}`
+		}
+		s.Requests = append(s.Requests, req)
+	}
+	return s, nil
+}
+
+// WriteTo serialises the schedule as one line per request:
+//
+//	<index> <method> <path> <body|-="">
+//
+// The rendering is byte-stable, so diffing two runs' schedule logs (or
+// hashing them — see Fingerprint) proves they issued identical requests.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, r := range s.Requests {
+		body := r.Body
+		if body == "" {
+			body = "-"
+		}
+		c, err := fmt.Fprintf(w, "%d %s %s %s\n", r.Index, r.Method, r.Path, body)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Fingerprint returns the FNV-64a hash of the serialised schedule as
+// fixed-width hex — a compact schedule identity for reports.
+func (s *Schedule) Fingerprint() string {
+	h := fnv.New64a()
+	// fnv's Write never fails.
+	_, _ = s.WriteTo(h)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

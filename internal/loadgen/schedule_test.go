@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testConfig(seed int64, n int) ScheduleConfig {
+	return ScheduleConfig{
+		Seed:      seed,
+		Requests:  n,
+		Features:  []string{"cpu_cores", "ram_gb", "net_gbps"},
+		Jobs:      []string{"batch", "serving"},
+		Tables:    []string{"samples", "scenarios"},
+		Scenarios: 40,
+	}
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	a, err := BuildSchedule(testConfig(42, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(testConfig(42, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if _, err := a.WriteTo(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+
+	c, err := BuildSchedule(testConfig(43, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Input ordering must not matter: the builder sorts features/jobs/tables
+// so discovery order (map iteration on the server, say) cannot change
+// the schedule.
+func TestBuildScheduleInputOrderInsensitive(t *testing.T) {
+	cfg := testConfig(7, 300)
+	shuffled := cfg
+	shuffled.Features = []string{"ram_gb", "net_gbps", "cpu_cores"}
+	shuffled.Tables = []string{"scenarios", "samples"}
+	shuffled.Jobs = []string{"serving", "batch"}
+	a, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("input ordering changed the schedule")
+	}
+}
+
+func TestBuildScheduleCoversMix(t *testing.T) {
+	s, err := BuildSchedule(testConfig(1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Op]int{}
+	for _, r := range s.Requests {
+		seen[r.Op]++
+		switch r.Op {
+		case OpTick:
+			if r.Method != "POST" || r.Body == "" {
+				t.Fatalf("tick request malformed: %+v", r)
+			}
+		default:
+			if r.Method != "GET" || r.Body != "" {
+				t.Fatalf("%s request malformed: %+v", r.Op, r)
+			}
+		}
+		if !strings.HasPrefix(r.Path, "/api/") {
+			t.Fatalf("request path %q does not target the API", r.Path)
+		}
+	}
+	for _, op := range Ops() {
+		if seen[op] == 0 {
+			t.Errorf("op %s never scheduled in 2000 requests of the default mix", op)
+		}
+	}
+}
+
+// Ops the target cannot answer are dropped from the effective mix
+// rather than producing doomed requests.
+func TestBuildScheduleDropsUnsatisfiableOps(t *testing.T) {
+	cfg := testConfig(5, 400)
+	cfg.Tables = nil
+	cfg.Scenarios = 0
+	s, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Requests {
+		if r.Op == OpDBQuery || r.Op == OpTick {
+			t.Fatalf("scheduled unsatisfiable op %s", r.Op)
+		}
+	}
+
+	cfg.Features = nil
+	if _, err := BuildSchedule(cfg); err == nil {
+		t.Fatal("fully unsatisfiable mix did not error")
+	}
+}
+
+func TestBuildScheduleRejectsBadCounts(t *testing.T) {
+	cfg := testConfig(1, 0)
+	if _, err := BuildSchedule(cfg); err == nil {
+		t.Fatal("zero requests did not error")
+	}
+}
+
+func TestParseMixRoundTrip(t *testing.T) {
+	mix, err := ParseMix("estimate:3,tick:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatMix(mix); got != "estimate:3,tick:1" {
+		t.Fatalf("round trip = %q", got)
+	}
+	for _, bad := range []string{"", "estimate", "estimate:0", "estimate:-1", "bogus:2", "estimate:1,estimate:2"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted invalid mix", bad)
+		}
+	}
+}

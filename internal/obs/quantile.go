@@ -5,6 +5,24 @@
 // estimate quantiles from the delta's bucket counts.
 package obs
 
+import "sort"
+
+// NewHistogram returns a standalone histogram that is not attached to
+// any registry. Load generators and other client-side tools use it to
+// record per-worker latencies without polluting the process registry;
+// the per-worker states then combine through HistogramState.Merge.
+// buckets are ascending finite upper bounds; nil means
+// DefaultLatencyBuckets. The slice is copied and sorted.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets()
+	}
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
 // HistogramState is a point-in-time copy of a histogram's cumulative
 // buckets. States from the same family subtract cleanly because bucket
 // bounds are fixed at first registration.
@@ -43,6 +61,33 @@ func (s HistogramState) Sub(prev HistogramState) HistogramState {
 			return s
 		}
 		out.Cumulative[i] = s.Cumulative[i] - prev.Cumulative[i]
+	}
+	return out
+}
+
+// Merge returns the element-wise sum of s and o — the combined
+// distribution of two recorders sharing one bucket layout (e.g. the
+// per-worker histograms of a load generator). Merging states with
+// mismatched bucket counts returns s unchanged, mirroring Sub's
+// degrade-don't-panic convention; an empty s adopts o wholesale.
+func (s HistogramState) Merge(o HistogramState) HistogramState {
+	if len(s.Cumulative) == 0 {
+		return o
+	}
+	if len(o.Cumulative) == 0 {
+		return s
+	}
+	if len(o.Cumulative) != len(s.Cumulative) {
+		return s
+	}
+	out := HistogramState{
+		Bounds:     s.Bounds,
+		Cumulative: make([]uint64, len(s.Cumulative)),
+		Sum:        s.Sum + o.Sum,
+		Count:      s.Count + o.Count,
+	}
+	for i := range s.Cumulative {
+		out.Cumulative[i] = s.Cumulative[i] + o.Cumulative[i]
 	}
 	return out
 }

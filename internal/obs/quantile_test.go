@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -149,5 +150,108 @@ func TestCounterFamilyTotal(t *testing.T) {
 	}
 	if _, ok := r.CounterFamilyTotal("flare_absent_total", nil); ok {
 		t.Error("total ok for missing family")
+	}
+}
+
+func TestNewHistogramStandalone(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 0.1, 1}) // unsorted on purpose
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	st := h.State()
+	if st.Count != 3 {
+		t.Fatalf("count = %d, want 3", st.Count)
+	}
+	want := []float64{0.1, 0.5, 1}
+	for i, b := range st.Bounds {
+		if b != want[i] {
+			t.Fatalf("bounds = %v, want %v (sorted)", st.Bounds, want)
+		}
+	}
+	// 1 sample <= 0.1, 2 <= 0.5, 2 <= 1, 3 in +Inf cumulative.
+	wantCum := []uint64{1, 2, 2, 3}
+	for i, c := range st.Cumulative {
+		if c != wantCum[i] {
+			t.Fatalf("cumulative = %v, want %v", st.Cumulative, wantCum)
+		}
+	}
+
+	if def := NewHistogram(nil); len(def.State().Bounds) != len(DefaultLatencyBuckets()) {
+		t.Errorf("nil buckets: got %d bounds, want default %d",
+			len(def.State().Bounds), len(DefaultLatencyBuckets()))
+	}
+}
+
+func TestHistogramStateMerge(t *testing.T) {
+	a := NewHistogram([]float64{0.1, 0.5, 1})
+	b := NewHistogram([]float64{0.1, 0.5, 1})
+	for i := 0; i < 40; i++ {
+		a.Observe(0.05)
+	}
+	for i := 0; i < 60; i++ {
+		b.Observe(0.3)
+	}
+	merged := a.State().Merge(b.State())
+	if merged.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", merged.Count)
+	}
+	if got, want := merged.Sum, 40*0.05+60*0.3; math.Abs(got-want) > 1e-9 {
+		t.Errorf("merged sum = %v, want %v", got, want)
+	}
+	// p50 falls in the (0.1, 0.5] bucket: rank 50, 40 below, 60 inside.
+	if p50 := merged.Quantile(0.5); math.Abs(p50-(0.1+0.4*10/60)) > 1e-9 {
+		t.Errorf("merged p50 = %v", p50)
+	}
+
+	// Empty states adopt the other side; layout mismatch keeps the receiver.
+	var empty HistogramState
+	if got := empty.Merge(a.State()); got.Count != 40 {
+		t.Errorf("empty.Merge = count %d, want 40", got.Count)
+	}
+	if got := a.State().Merge(empty); got.Count != 40 {
+		t.Errorf("Merge(empty) = count %d, want 40", got.Count)
+	}
+	odd := NewHistogram([]float64{1, 2}).State()
+	if got := a.State().Merge(odd); got.Count != 40 {
+		t.Errorf("mismatched Merge = count %d, want receiver's 40", got.Count)
+	}
+}
+
+// TestHistogramConcurrentRecordMerge hammers standalone histograms from
+// concurrent recorders (the loadgen worker shape) and checks the merged
+// state is exact. Run under -race this also proves Observe/State are
+// safe to interleave.
+func TestHistogramConcurrentRecordMerge(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	hists := make([]*Histogram, workers)
+	for i := range hists {
+		hists[i] = NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	}
+	var wg sync.WaitGroup
+	for i := range hists {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				h.Observe(float64(j%100) / 250.0) // 0..0.396
+				if j%1000 == 0 {
+					_ = h.State() // interleave snapshots with recording
+				}
+			}
+		}(hists[i])
+	}
+	wg.Wait()
+	var merged HistogramState
+	for _, h := range hists {
+		merged = merged.Merge(h.State())
+	}
+	if merged.Count != workers*perWorker {
+		t.Fatalf("merged count = %d, want %d", merged.Count, workers*perWorker)
+	}
+	if last := merged.Cumulative[len(merged.Cumulative)-1]; last != merged.Count {
+		t.Fatalf("+Inf cumulative %d != count %d", last, merged.Count)
+	}
+	if p999 := merged.Quantile(0.999); p999 <= 0 || p999 > 1 {
+		t.Errorf("p999 = %v, want within (0, 1]", p999)
 	}
 }

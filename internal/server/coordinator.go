@@ -295,59 +295,87 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	out := make([]json.RawMessage, len(feats))
-	status := make([]int, len(feats))
-	errMsg := make([]string, len(feats))
+	elems := make([]elemResult, len(feats))
 	var wg sync.WaitGroup
 	for i := range feats {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i], status[i], errMsg[i] = s.estimateElement(ctx, r, feats[i], job)
+			elems[i] = s.estimateElement(ctx, r, feats[i], job)
 		}(i)
 	}
 	wg.Wait()
 
 	// Deterministic error reporting: the lowest-index failure wins.
-	for i := range feats {
-		if errMsg[i] == "" {
+	// Outcome counters (timeouts, degraded) are recorded HERE, at
+	// response-write time, so they count exactly what the client
+	// observes: one 503 per timed-out batch (not one per element that
+	// shared the deadline), and no degraded elements from batches that
+	// failed overall.
+	for i := range elems {
+		if elems[i].errMsg == "" {
 			continue
 		}
-		if status[i] == http.StatusServiceUnavailable {
+		if elems[i].timedOut {
+			s.reg.Counter("flare_request_timeouts_total",
+				"estimate requests that hit RequestTimeout while waiting",
+				"route", "/api/estimate/batch").Inc()
+		}
+		if elems[i].status == http.StatusServiceUnavailable {
 			retryAfterHeader(w, time.Second)
 		}
-		writeError(w, status[i], "feature %q: %s", feats[i].Name, errMsg[i])
+		writeError(w, elems[i].status, "feature %q: %s", feats[i].Name, elems[i].errMsg)
 		return
+	}
+	out := make([]json.RawMessage, len(feats))
+	for i := range elems {
+		out[i] = elems[i].body
+		if elems[i].degraded {
+			s.countDegraded(estimateResponse{Degraded: true})
+		}
 	}
 	writeJSON(w, http.StatusOK, batchEstimateResponse{Job: job, Estimates: out})
 }
 
+// elemResult is one batch element's outcome. timedOut and degraded feed
+// the serve-time outcome counters in handleEstimateBatch.
+type elemResult struct {
+	body     json.RawMessage
+	status   int
+	errMsg   string
+	timedOut bool
+	degraded bool
+}
+
 // estimateElement resolves one batch element: remote via the ring owner
 // when possible, locally otherwise. The returned bytes are a compact
-// estimate JSON object.
+// estimate JSON object. Outcome counters are the caller's job — a batch
+// is one request, and what it observes is decided only after every
+// element resolves.
 func (s *Server) estimateElement(ctx context.Context, r *http.Request,
-	feat machine.Feature, job string) (body []byte, status int, errMsg string) {
+	feat machine.Feature, job string) elemResult {
 	if peerBody, ok := s.forwardEstimate(r, feat.Name, job); ok {
-		return peerBody, http.StatusOK, ""
+		return elemResult{body: peerBody, status: http.StatusOK}
 	}
 	entry := s.lookupEstimate(feat, job)
 	select {
 	case <-entry.done:
 	case <-ctx.Done():
-		s.reg.Counter("flare_request_timeouts_total",
-			"estimate requests that hit RequestTimeout while waiting",
-			"route", "/api/estimate/batch").Inc()
-		return nil, http.StatusServiceUnavailable,
-			fmt.Sprintf("estimate still computing after %s; retry later", s.opts.RequestTimeout)
+		return elemResult{
+			status: http.StatusServiceUnavailable,
+			errMsg: fmt.Sprintf("estimate still computing after %s; retry later", s.opts.RequestTimeout),
+
+			timedOut: true,
+		}
 	}
 	if entry.errMsg != "" {
-		return nil, entry.status, entry.errMsg
+		return elemResult{status: entry.status, errMsg: entry.errMsg}
 	}
 	b, err := json.Marshal(entry.resp)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err.Error()
+		return elemResult{status: http.StatusInternalServerError, errMsg: err.Error()}
 	}
-	return b, http.StatusOK, ""
+	return elemResult{body: b, status: http.StatusOK, degraded: entry.resp.Degraded}
 }
 
 // clusterHealth is the /api/health "cluster" section.

@@ -146,13 +146,23 @@ func (s *Server) degrade(e *estimateEntry, key, why string) {
 		e.resp = lg
 		e.resp.Degraded = true
 		e.status = http.StatusOK
-		s.reg.Counter("flare_degraded_responses_total",
-			"estimates served from last-known-good while the store is unhealthy").Inc()
 		return
 	}
 	e.status = http.StatusServiceUnavailable
 	e.retryAfter = true
 	e.errMsg = "estimate temporarily unavailable: " + why
+}
+
+// countDegraded records one degraded response at serve time. Counting
+// responses (not degrade computations) keeps flare_degraded_responses_total
+// equal to what clients actually observe: a single degraded singleflight
+// entry can satisfy many concurrent waiters, and each of those waiters
+// receives a degraded body.
+func (s *Server) countDegraded(resp estimateResponse) {
+	if resp.Degraded {
+		s.reg.Counter("flare_degraded_responses_total",
+			"estimates served from last-known-good while the store is unhealthy").Inc()
+	}
 }
 
 // retryAfterHeader stamps the standard back-off hint on shed/degraded

@@ -690,5 +690,6 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, entry.status, "%s", entry.errMsg)
 		return
 	}
+	s.countDegraded(entry.resp)
 	writeJSON(w, http.StatusOK, entry.resp)
 }
