@@ -13,6 +13,7 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+	"unicode"
 )
 
 // Analyzer describes one invariant checker.
@@ -23,6 +24,11 @@ type Analyzer struct {
 
 	// Doc is the help text: first line is a one-sentence summary.
 	Doc string
+
+	// URL documents the invariant the analyzer enforces. It rides
+	// along in -json output and becomes the SARIF rule helpUri so CI
+	// annotations link back to the rationale.
+	URL string
 
 	// Run applies the analyzer to one package. It may return a
 	// result value for driver-level cross-package checks (see
@@ -47,11 +53,24 @@ type Pass struct {
 	comments map[*ast.File]ast.CommentMap
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. End, when valid,
+// closes the half-open span [Pos, End) the finding covers — SARIF and
+// editor annotations want the full range, not just a point.
 type Diagnostic struct {
 	Pos      token.Pos
+	End      token.Pos // token.NoPos when the finding is a point
 	Message  string
 	Analyzer string // filled by the driver helpers
+	Related  []RelatedInformation
+}
+
+// RelatedInformation is a secondary location attached to a diagnostic —
+// locksafe uses it to point at the second lock site of an inverted
+// acquisition order.
+type RelatedInformation struct {
+	Pos     token.Pos
+	End     token.Pos
+	Message string
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -59,11 +78,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
 }
 
+// ReportRangef reports a formatted diagnostic spanning node n.
+func (p *Pass) ReportRangef(n ast.Node, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: n.Pos(), End: n.End(),
+		Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExemptDirective is the generic suppression directive name: a line
+// (or the line above it) carrying
+//
+//	//lint:exempt <analyzer> <reason>
+//
+// silences that analyzer's findings on the annotated line. Both fields
+// are mandatory: the analyzer name scopes the suppression so one
+// directive cannot blanket-silence unrelated checks, and the reason is
+// the audit trail that keeps drive-by suppressions out of review.
+const ExemptDirective = "exempt"
+
+// Exempted reports whether the line containing pos — or the line
+// immediately above it — carries a generic exempt directive naming this
+// pass's analyzer, with a reason.
+func (p *Pass) Exempted(pos token.Pos) bool {
+	return p.commentNear(pos, func(text string) bool {
+		name, reason, ok := ParseExempt(text)
+		return ok && name == p.Analyzer.Name && reason != ""
+	})
+}
+
 // ExemptedBy reports whether the line containing pos — or the line
 // immediately above it — carries a `//lint:<directive> reason` comment.
 // A directive with no reason does NOT exempt: the reason is the audit
 // trail, and requiring it keeps drive-by suppressions out of review.
+// The generic `//lint:exempt <analyzer> <reason>` form naming this
+// pass's analyzer also exempts, so analyzers with a legacy directive
+// accept both spellings.
 func (p *Pass) ExemptedBy(pos token.Pos, directive string) bool {
+	if p.Exempted(pos) {
+		return true
+	}
+	return p.commentNear(pos, func(text string) bool {
+		reason, ok := directiveReason(text, directive)
+		return ok && reason != ""
+	})
+}
+
+// commentNear applies match to every comment on pos's line or the line
+// immediately above it.
+func (p *Pass) commentNear(pos token.Pos, match func(text string) bool) bool {
 	posn := p.Fset.Position(pos)
 	for _, f := range p.Files {
 		if p.Fset.Position(f.Pos()).Filename != posn.Filename {
@@ -75,13 +136,33 @@ func (p *Pass) ExemptedBy(pos token.Pos, directive string) bool {
 				if cl != posn.Line && cl != posn.Line-1 {
 					continue
 				}
-				if reason, ok := directiveReason(c.Text, directive); ok && reason != "" {
+				if match(c.Text) {
 					return true
 				}
 			}
 		}
 	}
 	return false
+}
+
+// ParseExempt parses `//lint:exempt <analyzer> <reason>` comment text,
+// returning the named analyzer and the (possibly empty) reason. ok is
+// true when the comment is an exempt directive at all — callers must
+// still require a non-empty reason before honouring it.
+func ParseExempt(text string) (analyzer, reason string, ok bool) {
+	rest, ok := directiveReason(text, ExemptDirective)
+	if !ok {
+		return "", "", false
+	}
+	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+		analyzer, reason = rest[:i], strings.TrimSpace(rest[i:])
+	} else {
+		analyzer = rest
+	}
+	if analyzer == "" {
+		return "", "", false // `//lint:exempt` names nothing
+	}
+	return analyzer, reason, true
 }
 
 // directiveReason parses `//lint:<name> <reason>` comment text.

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzExemptDirective throws arbitrary comment text at the directive
+// grammar. The parser guards every suppression in the tree, so it must
+// never panic, and what it accepts must satisfy the invariants the
+// analyzers rely on: a parsed directive always names an analyzer, the
+// reason carries no surrounding whitespace, and a well-formed directive
+// reconstructed from the parse re-parses to the same fields (so a
+// suppression cannot mean different things to two consumers).
+func FuzzExemptDirective(f *testing.F) {
+	f.Add("//lint:exempt locksafe snapshot mark is lock-ordered by the store")
+	f.Add("// lint:exempt goroleak watcher exits with ctx")
+	f.Add("//lint:exempt detrand")
+	f.Add("//lint:exempt")
+	f.Add("//lint:exempted locksafe different word")
+	f.Add("//lint:deterministic-exempt wall clock feeds a banner")
+	f.Add("//lint:exempt  ctxflow\ttabbed reason")
+	f.Add("/* block */")
+	f.Add("//lint:exempt \x00\xff binary")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok := ParseExempt(text)
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("ParseExempt(%q): !ok but fields set (%q, %q)", text, analyzer, reason)
+			}
+			return
+		}
+		if analyzer == "" {
+			t.Fatalf("ParseExempt(%q): ok with empty analyzer", text)
+		}
+		if strings.ContainsFunc(analyzer, unicode.IsSpace) {
+			t.Fatalf("ParseExempt(%q): analyzer %q contains whitespace", text, analyzer)
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("ParseExempt(%q): reason %q not trimmed", text, reason)
+		}
+		// Round-trip: a canonical directive built from the parse must
+		// parse back to identical fields, unless the reason itself
+		// starts a comment amid whitespace normalisation (it cannot:
+		// reason is trimmed and the analyzer is whitespace-free).
+		canon := "//lint:exempt " + analyzer
+		if reason != "" {
+			canon += " " + reason
+		}
+		a2, r2, ok2 := ParseExempt(canon)
+		if !ok2 || a2 != analyzer || r2 != reason {
+			t.Fatalf("round-trip of %q: ParseExempt(%q) = (%q, %q, %v), want (%q, %q, true)",
+				text, canon, a2, r2, ok2, analyzer, reason)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry is one blessed diagnostic bucket: Count findings of
+// Analyzer with exactly Message in File are tolerated. Keys carry no
+// line numbers — a refactor that moves a blessed finding does not
+// invalidate the baseline, and analyzer messages are written to stay
+// line-free (positions live in the Finding, not its text) precisely so
+// this holds.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// relFile maps a finding's (usually absolute) file path to the
+// root-relative slash form baselines store.
+func relFile(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	if rel, err := filepath.Rel(root, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// WriteBaseline aggregates findings into sorted baseline entries and
+// writes them as indented JSON. root anchors the relative file paths
+// (the module root the lint run was made from).
+func WriteBaseline(w io.Writer, findings []Finding, root string) error {
+	counts := make(map[BaselineEntry]int)
+	for _, f := range findings {
+		e := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relFile(root, f.Position.File),
+			Message:  f.Message,
+		}
+		counts[e]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for e, n := range counts {
+		e.Count = n
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ReadBaseline parses a baseline written by WriteBaseline.
+func ReadBaseline(r io.Reader) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	for _, e := range entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("lint: malformed baseline entry %+v", e)
+		}
+	}
+	return entries, nil
+}
+
+// FilterBaseline removes findings covered by the baseline: each entry
+// absorbs up to Count matching findings (same analyzer, same
+// root-relative file, same message). What remains — new violations, or
+// extra instances beyond the blessed count — is returned in order.
+func FilterBaseline(findings []Finding, baseline []BaselineEntry, root string) []Finding {
+	allowance := make(map[string]int, len(baseline))
+	for _, e := range baseline {
+		allowance[baselineKey(e.Analyzer, e.File, e.Message)] += e.Count
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, relFile(root, f.Position.File), f.Message)
+		if allowance[k] > 0 {
+			allowance[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flare/internal/lint"
+)
+
+func baselineFixture(root string) []lint.Finding {
+	return []lint.Finding{
+		{Analyzer: "locksafe", Position: lint.Position{File: filepath.Join(root, "internal/server/a.go"), Line: 10, Column: 2}, Message: "held across blocking call"},
+		{Analyzer: "locksafe", Position: lint.Position{File: filepath.Join(root, "internal/server/a.go"), Line: 40, Column: 2}, Message: "held across blocking call"},
+		{Analyzer: "ctxflow", Position: lint.Position{File: filepath.Join(root, "internal/cluster/b.go"), Line: 5, Column: 1}, Message: "ctx never consulted"},
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("repo", "flare")
+	findings := baselineFixture(root)
+
+	var buf bytes.Buffer
+	if err := lint.WriteBaseline(&buf, findings, root); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"internal/server/a.go"`) {
+		t.Errorf("baseline lacks slash-relative file path:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), `"line"`) {
+		t.Errorf("baseline must not store line numbers:\n%s", buf.String())
+	}
+
+	entries, err := lint.ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (duplicate messages aggregate): %+v", len(entries), entries)
+	}
+	if entries[1].Count != 2 || entries[1].Analyzer != "locksafe" {
+		t.Errorf("aggregated entry = %+v, want locksafe count 2", entries[1])
+	}
+
+	// Everything blessed: nothing gates.
+	if left := lint.FilterBaseline(findings, entries, root); len(left) != 0 {
+		t.Errorf("fully baselined run left %d finding(s): %v", len(left), left)
+	}
+
+	// A finding moving to a new line is still absorbed (keys are line-free)...
+	moved := baselineFixture(root)
+	moved[0].Position.Line = 99
+	if left := lint.FilterBaseline(moved, entries, root); len(left) != 0 {
+		t.Errorf("moved finding should stay baselined, got %v", left)
+	}
+
+	// ...but a third instance beyond the blessed count, or a new message, gates.
+	extra := append(baselineFixture(root), lint.Finding{
+		Analyzer: "locksafe",
+		Position: lint.Position{File: filepath.Join(root, "internal/server/a.go"), Line: 70, Column: 2},
+		Message:  "held across blocking call",
+	})
+	if left := lint.FilterBaseline(extra, entries, root); len(left) != 1 {
+		t.Errorf("extra instance should gate, got %v", left)
+	}
+	fresh := append(baselineFixture(root), lint.Finding{
+		Analyzer: "goroleak",
+		Position: lint.Position{File: filepath.Join(root, "internal/server/a.go"), Line: 70, Column: 2},
+		Message:  "no stop path",
+	})
+	left := lint.FilterBaseline(fresh, entries, root)
+	if len(left) != 1 || left[0].Analyzer != "goroleak" {
+		t.Errorf("new analyzer finding should gate, got %v", left)
+	}
+}
+
+func TestReadBaselineRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`[{"analyzer":"","file":"a.go","message":"m","count":1}]`,
+		`[{"analyzer":"locksafe","file":"a.go","message":"m","count":0}]`,
+		`[{"analyzer":"locksafe","file":"","message":"m","count":1}]`,
+	}
+	for _, c := range cases {
+		if _, err := lint.ReadBaseline(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadBaseline(%q) accepted malformed input", c)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flare/internal/lint/analysis"
+	"flare/internal/lint/callgraph"
+	"flare/internal/lint/load"
+)
+
+// checkSrc type-checks one source string into a Pass, resolving stdlib
+// imports through the toolchain's export data.
+func checkSrc(t *testing.T, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: stdImporter(t, fset), Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking test source: %v", err)
+	}
+	return &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "test"},
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+}
+
+var (
+	stdOnce sync.Once
+	stdMap  map[string]string
+	stdErr  error
+)
+
+func stdImporter(t *testing.T, fset *token.FileSet) types.Importer {
+	t.Helper()
+	stdOnce.Do(func() {
+		stdMap, stdErr = load.ExportData("", "context", "fmt", "net", "os", "sync", "time")
+	})
+	if stdErr != nil {
+		t.Fatalf("resolving stdlib export data: %v", stdErr)
+	}
+	return load.NewExportImporter(fset, stdMap)
+}
+
+const graphSrc = `package p
+
+type T struct{ n int }
+
+func a() { b() }
+
+func b() {
+	c()
+	c() // duplicate call: edge recorded once
+}
+
+func c() {}
+
+// d and e are mutually recursive: one SCC.
+func d(n int) {
+	if n > 0 {
+		e(n - 1)
+	}
+}
+
+func e(n int) { d(n) }
+
+// m calls a through a nested function literal: the edge belongs to m.
+func (t *T) m() {
+	f := func() { a() }
+	f()
+}
+
+// indirect calls resolve to no callee.
+func ind(f func()) { f() }
+`
+
+func TestBuildEdges(t *testing.T) {
+	pass := checkSrc(t, graphSrc)
+	g := callgraph.Build(pass)
+
+	calls := func(name string) []string {
+		var n *callgraph.Node
+		for _, cand := range g.Nodes() {
+			if cand.Func.Name() == name {
+				n = cand
+			}
+		}
+		if n == nil {
+			t.Fatalf("node %s not found", name)
+		}
+		var out []string
+		for _, c := range n.Calls {
+			out = append(out, c.Func.Name())
+		}
+		return out
+	}
+
+	for _, tt := range []struct {
+		fn   string
+		want []string
+	}{
+		{"a", []string{"b"}},
+		{"b", []string{"c"}}, // deduplicated
+		{"c", nil},
+		{"d", []string{"e"}},
+		{"e", []string{"d"}},
+		{"m", []string{"a"}}, // literal's call attributed to m
+		{"ind", nil},         // indirect: no static callee
+	} {
+		got := calls(tt.fn)
+		if len(got) != len(tt.want) {
+			t.Errorf("%s calls %v, want %v", tt.fn, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%s calls %v, want %v", tt.fn, got, tt.want)
+			}
+		}
+	}
+
+	if len(g.Nodes()) != 7 {
+		t.Errorf("got %d nodes, want 7", len(g.Nodes()))
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	pass := checkSrc(t, graphSrc)
+	g := callgraph.Build(pass)
+	sccs := g.SCCs()
+
+	// Index of the component each function lands in.
+	comp := make(map[string]int)
+	for i, scc := range sccs {
+		for _, n := range scc {
+			comp[n.Func.Name()] = i
+		}
+	}
+
+	// Bottom-up: callees' components come first.
+	if !(comp["c"] < comp["b"] && comp["b"] < comp["a"] && comp["a"] < comp["m"]) {
+		t.Errorf("SCCs not bottom-up: c=%d b=%d a=%d m=%d", comp["c"], comp["b"], comp["a"], comp["m"])
+	}
+	// Mutual recursion collapses into one component.
+	if comp["d"] != comp["e"] {
+		t.Errorf("d (%d) and e (%d) should share an SCC", comp["d"], comp["e"])
+	}
+	for _, scc := range sccs {
+		if len(scc) > 1 && len(scc) != 2 {
+			t.Errorf("unexpected SCC size %d", len(scc))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/ctxflow"
+	"flare/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "../testdata", ctxflow.Analyzer, "ctxpkg")
+}

@@ -23,6 +23,7 @@ import (
 	"path"
 
 	"flare/internal/lint/analysis"
+	"flare/internal/lint/summary"
 )
 
 // Directive is the allowlist comment name.
@@ -46,6 +47,7 @@ var CriticalPackages = map[string]bool{
 
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
+	URL:  "https://github.com/flare-project/flare/blob/main/DESIGN.md#detrand",
 	Doc: "forbid time.Now/time.Since, the global math/rand generator, and " +
 		"clock-derived seeds in determinism-critical packages",
 	Run: run,
@@ -132,8 +134,12 @@ func isMethod(fn *types.Func) bool {
 }
 
 // clockTainted reports whether any argument of the seeded-generator
-// construction transitively calls into package time (time.Now().
-// UnixNano() being the canonical offender).
+// construction transitively calls into package time — time.Now().
+// UnixNano() being the canonical offender — either literally in the
+// argument expression or through an in-package helper whose summary
+// says it reads the clock. The helper case is what the summary engine
+// buys: an exempted clock read is exempt at its own site, but a seed
+// derived from it is still a seed derived from the clock.
 func clockTainted(pass *analysis.Pass, call *ast.CallExpr) (bool, ast.Node) {
 	for _, arg := range call.Args {
 		var bad ast.Node
@@ -145,10 +151,19 @@ func clockTainted(pass *analysis.Pass, call *ast.CallExpr) (bool, ast.Node) {
 			if !ok {
 				return true
 			}
-			if fn := calleeFunc(pass, inner); fn != nil && fn.Pkg() != nil &&
-				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			fn := calleeFunc(pass, inner)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && fn.Name() == "Now" {
 				bad = inner
 				return false
+			}
+			if fn.Pkg() == pass.Pkg {
+				if s := summary.For(pass).Of(fn); s != nil && s.CallsClock {
+					bad = inner
+					return false
+				}
 			}
 			return true
 		})

@@ -1,0 +1,138 @@
+// Package goroleak requires every goroutine spawned in FLARE's
+// concurrency-critical packages (server, cluster, loadgen, obs) to have
+// a reachable stop path. A `go` statement whose body — or whose
+// statically-resolved in-package callee, via the summary engine — spins
+// in an infinite for-loop with no return, no break that targets the
+// loop, and no terminating call is a leak: it survives Close/Shutdown,
+// holds its captured references forever, and shows up as a slowly
+// climbing goroutine count in production.
+//
+// Loops that wait on something stoppable are fine by construction:
+// `for range ch` ends when the channel closes, `for ctx.Err() == nil`
+// ends on cancellation, and a select case that returns (typically
+// `case <-ctx.Done(): return`) is an escape. An unlabeled break inside
+// a nested select/switch/for targets that inner construct, not the
+// loop — the classic trap this analyzer exists to catch.
+//
+// Intentional run-forever daemons carry `//lint:exempt goroleak
+// <reason>` on the go statement.
+package goroleak
+
+import (
+	"go/ast"
+	"path"
+
+	"flare/internal/lint/analysis"
+	"flare/internal/lint/callgraph"
+	"flare/internal/lint/summary"
+)
+
+// MonitoredPackages are the package base names the analyzer applies to.
+var MonitoredPackages = map[string]bool{
+	"server":  true,
+	"cluster": true,
+	"loadgen": true,
+	"obs":     true,
+	"goro":    true, // linttest fixture
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "require every spawned goroutine to have a reachable stop path " +
+		"(context cancellation, channel close, or return)",
+	URL: "https://github.com/flare-project/flare/blob/main/DESIGN.md#goroleak",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !MonitoredPackages[path.Base(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	set := summary.For(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, set, g)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkGo(pass *analysis.Pass, set *summary.Set, g *ast.GoStmt) {
+	if pass.Exempted(g.Pos()) {
+		return
+	}
+	// go func() { ... }(): analyze the literal's own body.
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if at, forever := summary.ForeverLoop(pass, fl.Body); forever {
+			if pass.Exempted(at) {
+				return
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: g.Pos(), End: fl.Type.End(), Analyzer: pass.Analyzer.Name,
+				Message: "goroutine has no stop path: its loop never returns, breaks, or waits on a " +
+					"closeable channel — wire in ctx.Done(), a closed channel, or a shutdown hook",
+				Related: []analysis.RelatedInformation{
+					{Pos: at, Message: "unstoppable loop here"},
+				},
+			})
+			return
+		}
+		// A literal that calls an unstoppable in-package function is
+		// just as leaked: `go func() { worker() }()`.
+		reportForeverCallees(pass, set, g, fl.Body)
+		return
+	}
+	// go f(): consult f's summary (covers loops any number of calls
+	// deep).
+	if fn := callgraph.Callee(pass, g.Call); fn != nil {
+		if s := set.Of(fn); s != nil && s.RunsForever {
+			reportForever(pass, g, s)
+		}
+	}
+}
+
+// reportForeverCallees flags calls inside a spawned literal to
+// in-package functions that never return.
+func reportForeverCallees(pass *analysis.Pass, set *summary.Set, g *ast.GoStmt, body *ast.BlockStmt) {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callgraph.Callee(pass, call)
+		if fn == nil {
+			return true
+		}
+		if s := set.Of(fn); s != nil && s.RunsForever {
+			done = true
+			reportForever(pass, g, s)
+			return false
+		}
+		return true
+	})
+}
+
+func reportForever(pass *analysis.Pass, g *ast.GoStmt, s *summary.FuncSummary) {
+	name := s.Func.Name()
+	msg := "goroutine has no stop path: " + name + " never returns"
+	if s.ForeverVia != nil {
+		msg += " (loops forever via " + s.ForeverVia.Name() + ")"
+	}
+	msg += " — wire in ctx.Done(), a closed channel, or a shutdown hook"
+	pass.Report(analysis.Diagnostic{
+		Pos: g.Pos(), End: g.Call.End(), Analyzer: pass.Analyzer.Name,
+		Message: msg,
+		Related: []analysis.RelatedInformation{
+			{Pos: s.ForeverAt, Message: "unstoppable loop here"},
+		},
+	})
+}

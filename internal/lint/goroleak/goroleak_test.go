@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/goroleak"
+	"flare/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, "../testdata", goroleak.Analyzer, "goro")
+}

@@ -10,15 +10,20 @@ import (
 	"sort"
 
 	"flare/internal/lint/analysis"
+	"flare/internal/lint/ctxflow"
 	"flare/internal/lint/detrand"
+	"flare/internal/lint/goroleak"
 	"flare/internal/lint/load"
+	"flare/internal/lint/locksafe"
 	"flare/internal/lint/maporder"
 	"flare/internal/lint/metricname"
 	"flare/internal/lint/spanend"
 	"flare/internal/lint/syncerr"
 )
 
-// Suite returns the five FLARE analyzers in diagnostic order.
+// Suite returns the eight FLARE analyzers in diagnostic order: the
+// intraprocedural determinism/telemetry checks first, then the
+// summary-driven concurrency-safety analyzers.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
@@ -26,6 +31,9 @@ func Suite() []*analysis.Analyzer {
 		metricname.Analyzer,
 		spanend.Analyzer,
 		syncerr.Analyzer,
+		ctxflow.Analyzer,
+		goroleak.Analyzer,
+		locksafe.Analyzer,
 	}
 }
 
@@ -39,12 +47,26 @@ func ByName(name string) *analysis.Analyzer {
 	return nil
 }
 
-// Finding is one diagnostic with a resolved source position, the
-// JSON-stable shape `flarelint -json` emits.
+// Finding is one diagnostic with resolved source positions, the
+// JSON-stable shape `flarelint -json` emits. End, when present, closes
+// the half-open span the finding covers; URL links the invariant's
+// documentation; Related carries secondary locations (locksafe's
+// counter-edge of a lock-order inversion, goroleak's unstoppable
+// loop).
 type Finding struct {
-	Analyzer string   `json:"analyzer"`
-	Position Position `json:"position"`
-	Message  string   `json:"message"`
+	Analyzer string           `json:"analyzer"`
+	URL      string           `json:"url,omitempty"`
+	Position Position         `json:"position"`
+	End      *Position        `json:"end,omitempty"`
+	Message  string           `json:"message"`
+	Related  []RelatedFinding `json:"related,omitempty"`
+}
+
+// RelatedFinding is a secondary location attached to a finding.
+type RelatedFinding struct {
+	Position Position  `json:"position"`
+	End      *Position `json:"end,omitempty"`
+	Message  string    `json:"message"`
 }
 
 // Position is a resolved file position.
@@ -86,6 +108,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Findi
 	for _, c := range metricname.Conflicts(regsByPkg) {
 		findings = append(findings, Finding{
 			Analyzer: metricname.Analyzer.Name,
+			URL:      metricname.Analyzer.URL,
 			Position: Position{File: c.Pos.Filename, Line: c.Pos.Line, Column: c.Pos.Column},
 			Message:  c.Message,
 		})
@@ -107,9 +130,9 @@ func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) (map[string]i
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 		}
-		name := a.Name
+		ana := a
 		pass.Report = func(d analysis.Diagnostic) {
-			findings = append(findings, toFinding(pkg.Fset, name, d))
+			findings = append(findings, toFinding(pkg.Fset, ana, d))
 		}
 		res, err := a.Run(pass)
 		if err != nil {
@@ -121,13 +144,31 @@ func RunPackage(pkg *load.Package, analyzers []*analysis.Analyzer) (map[string]i
 	return results, findings, nil
 }
 
-func toFinding(fset *token.FileSet, analyzer string, d analysis.Diagnostic) Finding {
-	f := Finding{Analyzer: analyzer, Message: d.Message}
-	if d.Pos.IsValid() {
-		posn := fset.Position(d.Pos)
-		f.Position = Position{File: posn.Filename, Line: posn.Line, Column: posn.Column}
+func toFinding(fset *token.FileSet, a *analysis.Analyzer, d analysis.Diagnostic) Finding {
+	f := Finding{Analyzer: a.Name, URL: a.URL, Message: d.Message}
+	f.Position, f.End = resolveSpan(fset, d.Pos, d.End)
+	for _, r := range d.Related {
+		rf := RelatedFinding{Message: r.Message}
+		rf.Position, rf.End = resolveSpan(fset, r.Pos, r.End)
+		f.Related = append(f.Related, rf)
 	}
 	return f
+}
+
+// resolveSpan resolves a [pos, end) token span to file positions; end
+// comes back nil when invalid or equal to the start.
+func resolveSpan(fset *token.FileSet, pos, end token.Pos) (Position, *Position) {
+	var p Position
+	if !pos.IsValid() {
+		return p, nil
+	}
+	posn := fset.Position(pos)
+	p = Position{File: posn.Filename, Line: posn.Line, Column: posn.Column}
+	if !end.IsValid() || end <= pos {
+		return p, nil
+	}
+	endn := fset.Position(end)
+	return p, &Position{File: endn.Filename, Line: endn.Line, Column: endn.Column}
 }
 
 func sortFindings(fs []Finding) {

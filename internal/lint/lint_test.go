@@ -9,8 +9,8 @@ import (
 
 func TestSuiteAndByName(t *testing.T) {
 	suite := lint.Suite()
-	if len(suite) != 5 {
-		t.Fatalf("Suite has %d analyzers, want 5", len(suite))
+	if len(suite) != 8 {
+		t.Fatalf("Suite has %d analyzers, want 8", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -54,9 +54,33 @@ func TestFindingJSONShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Optional fields (url, end, related) must stay absent when unset so
+	// downstream JSON consumers keep parsing pre-v2 output.
 	want := `{"analyzer":"spanend","position":{"file":"x.go","line":1,"column":2},"message":"m"}`
 	if string(buf) != want {
 		t.Errorf("JSON = %s, want %s", buf, want)
+	}
+
+	full := lint.Finding{
+		Analyzer: "locksafe",
+		URL:      "https://example.test/locksafe",
+		Position: lint.Position{File: "x.go", Line: 3, Column: 1},
+		End:      &lint.Position{File: "x.go", Line: 3, Column: 9},
+		Message:  "m2",
+		Related: []lint.RelatedFinding{{
+			Position: lint.Position{File: "x.go", Line: 1, Column: 1},
+			Message:  "acquired here",
+		}},
+	}
+	buf, err = json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull := `{"analyzer":"locksafe","url":"https://example.test/locksafe",` +
+		`"position":{"file":"x.go","line":3,"column":1},"end":{"file":"x.go","line":3,"column":9},` +
+		`"message":"m2","related":[{"position":{"file":"x.go","line":1,"column":1},"message":"acquired here"}]}`
+	if string(buf) != wantFull {
+		t.Errorf("JSON = %s, want %s", buf, wantFull)
 	}
 }
 
@@ -74,6 +98,9 @@ func TestRepoIsClean(t *testing.T) {
 		"./internal/store/...",
 		"./internal/dcsim/...",
 		"./internal/scenario/...",
+		"./internal/server/...",
+		"./internal/cluster/...",
+		"./internal/loadgen/...",
 	}, lint.Suite())
 	if err != nil {
 		t.Fatalf("Run: %v", err)

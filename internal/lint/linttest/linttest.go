@@ -4,6 +4,11 @@
 // GOPATH-shaped tree: <testdata>/src/<importpath>/*.go. Stdlib imports
 // resolve through the toolchain's export data; fixture-to-fixture
 // imports resolve within the tree.
+//
+// An expectation normally applies to its own line; `// want+N` and
+// `// want-N` shift it N lines down or up, for diagnostics on lines
+// that have no room for a trailing comment (closing braces, lines
+// already carrying a directive under test).
 package linttest
 
 import (
@@ -26,6 +31,17 @@ import (
 	"flare/internal/lint/load"
 )
 
+// TB is the subset of testing.TB the fixture runner needs. It exists so
+// the runner's failure behaviour is itself testable: a test can hand
+// RunWith a fake reporter and assert that an unmatched expectation
+// fails loudly instead of being silently dropped. A fake's Fatalf must
+// not return (panic is fine), matching testing.T semantics.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
 // stdExports lazily resolves export data for the stdlib packages
 // fixtures may import. Shared across all Run calls in a test binary.
 var (
@@ -37,11 +53,11 @@ var (
 // stdPackages is the stdlib surface fixtures are allowed to import.
 // Extend the list when a new fixture needs more.
 var stdPackages = []string{
-	"bufio", "bytes", "context", "encoding/json", "fmt", "io", "os",
-	"math/rand", "math/rand/v2", "sort", "strings", "time",
+	"bufio", "bytes", "context", "encoding/json", "fmt", "io", "net",
+	"os", "math/rand", "math/rand/v2", "sort", "strings", "sync", "time",
 }
 
-func stdlib(t *testing.T) map[string]string {
+func stdlib(t TB) map[string]string {
 	stdOnce.Do(func() {
 		stdExports, stdErr = load.ExportData("", stdPackages...)
 	})
@@ -53,7 +69,7 @@ func stdlib(t *testing.T) map[string]string {
 
 // fixtureImporter resolves fixture-tree imports first, stdlib second.
 type fixtureImporter struct {
-	t       *testing.T
+	t       TB
 	srcRoot string
 	fset    *token.FileSet
 	std     types.Importer
@@ -116,6 +132,13 @@ func (im *fixtureImporter) load(path string) (*fixturePkg, error) {
 // the diagnostics against // want expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunWith(t, testdata, a, pkgs...)
+}
+
+// RunWith is Run with an explicit reporter, so the runner's own failure
+// modes can be tested.
+func RunWith(t TB, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	fset := token.NewFileSet()
 	im := &fixtureImporter{
 		t:       t,
@@ -129,7 +152,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
-func runOne(t *testing.T, fset *token.FileSet, im *fixtureImporter, a *analysis.Analyzer, pkg string) {
+func runOne(t TB, fset *token.FileSet, im *fixtureImporter, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	fp, err := im.load(pkg)
 	if err != nil {
@@ -168,21 +191,35 @@ func runOne(t *testing.T, fset *token.FileSet, im *fixtureImporter, a *analysis.
 	}
 }
 
+// wantRe matches the expectation marker: `want`, optionally followed by
+// a signed line offset, followed by at least one space and the
+// expectation string literals.
+var wantRe = regexp.MustCompile(`^want([+-]\d+)?[ \t]+(.*)$`)
+
 // collectWants extracts `// want "re" "re" ...` expectations keyed by
-// "file:line".
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+// "file:line", honouring `want+N` / `want-N` line offsets.
+func collectWants(t TB, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
 	t.Helper()
 	wants := make(map[string][]*regexp.Regexp)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				m := wantRe.FindStringSubmatch(text)
+				if m == nil {
 					continue
 				}
 				posn := fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
-				for _, lit := range splitStringLits(t, posn.String(), text[len("want "):]) {
+				line := posn.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q: %v", posn, m[1], err)
+					}
+					line += off
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), line)
+				for _, lit := range splitStringLits(t, posn.String(), m[2]) {
 					re, err := regexp.Compile(lit)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", posn, lit, err)
@@ -197,7 +234,7 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 
 // splitStringLits parses a sequence of Go string literals ("..." or
 // `...`) separated by spaces.
-func splitStringLits(t *testing.T, at, s string) []string {
+func splitStringLits(t TB, at, s string) []string {
 	t.Helper()
 	var out []string
 	s = strings.TrimSpace(s)

@@ -1,0 +1,99 @@
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"flare/internal/lint/analysis"
+)
+
+// flagFuncs reports "flagged <name>" at every function declaration —
+// a minimal analyzer for exercising the runner itself.
+var flagFuncs = &analysis.Analyzer{
+	Name: "flagfuncs",
+	Doc:  "test analyzer: flags every function declaration",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "flagged %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// silent reports nothing, ever.
+var silent = &analysis.Analyzer{
+	Name: "silent",
+	Doc:  "test analyzer: never reports",
+	Run:  func(*analysis.Pass) (interface{}, error) { return nil, nil },
+}
+
+// fakeTB records failures instead of failing the real test. Fatalf
+// panics, matching testing.T's does-not-return contract.
+type fakeTB struct {
+	errors []string
+	fatals []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...interface{}) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...interface{}) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+	panic("linttest: fatal")
+}
+
+// TestWantOffsets verifies that want+N / want-N expectations attach to
+// the shifted line.
+func TestWantOffsets(t *testing.T) {
+	Run(t, "testdata", flagFuncs, "offsets")
+}
+
+// TestUnmatchedWantFailsLoudly runs an analyzer that reports nothing
+// over a fixture that expects a diagnostic, and asserts the runner
+// flags the dead expectation instead of silently passing.
+func TestUnmatchedWantFailsLoudly(t *testing.T) {
+	fake := &fakeTB{}
+	RunWith(fake, "testdata", silent, "deadwant")
+	if len(fake.fatals) > 0 {
+		t.Fatalf("runner died: %v", fake.fatals)
+	}
+	if len(fake.errors) == 0 {
+		t.Fatal("unmatched // want expectation did not fail the run")
+	}
+	found := false
+	for _, e := range fake.errors {
+		if strings.Contains(e, "expected diagnostic matching") &&
+			strings.Contains(e, "this diagnostic is never produced") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failure does not name the dead expectation: %v", fake.errors)
+	}
+}
+
+// TestUnexpectedDiagnosticFailsLoudly is the dual: a diagnostic with no
+// matching expectation must fail too.
+func TestUnexpectedDiagnosticFailsLoudly(t *testing.T) {
+	fake := &fakeTB{}
+	RunWith(fake, "testdata", flagFuncs, "deadwant")
+	if len(fake.errors) == 0 {
+		t.Fatal("unexpected diagnostic did not fail the run")
+	}
+	foundUnexpected := false
+	for _, e := range fake.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "flagged quiet") {
+			foundUnexpected = true
+		}
+	}
+	if !foundUnexpected {
+		t.Errorf("failure does not name the unexpected diagnostic: %v", fake.errors)
+	}
+}

@@ -1,0 +1,5 @@
+// Package deadwant is a fixture whose expectation is never produced by
+// the analyzer under test: the runner must fail loudly on it.
+package deadwant
+
+func quiet() {} // want "this diagnostic is never produced"

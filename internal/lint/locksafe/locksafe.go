@@ -1,0 +1,292 @@
+// Package locksafe flags the two lock-discipline hazards that matter in
+// FLARE's concurrency-dense packages (server, cluster, loadgen, obs):
+//
+//   - inconsistent lock-acquisition order: if one code path acquires
+//     lock class A while holding B and another acquires B while holding
+//     A, two goroutines can deadlock. Lock classes are tracked per
+//     receiver type ("(Shipper).mu"), per package-level var
+//     ("cluster.shipMu"), or per function for bare locals, and order
+//     edges flow through in-package calls via the summary engine — the
+//     inversion does not need to be visible inside one function.
+//
+//   - a write-locked mutex held across a blocking operation (channel
+//     ops, time.Sleep, net round-trips, store fsync paths, subprocess
+//     or WaitGroup waits, directly or through any in-package callee):
+//     every other goroutine contending for that mutex stalls for the
+//     full latency of the blocked call. sync.Cond.Wait is exempt by
+//     construction — it releases its mutex while parked.
+//
+// The held-set simulation is source-ordered and deliberately
+// false-positive-light: a deferred Unlock keeps the lock held to the
+// end of the function, an inline Unlock releases it for the statements
+// after it, and go-launched literals start with an empty held set.
+// Genuine exceptions carry `//lint:exempt locksafe <reason>`.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+
+	"flare/internal/lint/analysis"
+	"flare/internal/lint/callgraph"
+	"flare/internal/lint/summary"
+)
+
+// MonitoredPackages are the package base names the analyzer applies to:
+// the packages PRs 7–9 filled with goroutines, mutexes, and WALs.
+var MonitoredPackages = map[string]bool{
+	"server":  true,
+	"cluster": true,
+	"loadgen": true,
+	"obs":     true,
+	"locks":   true, // linttest fixture
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flag inconsistent lock-acquisition order (potential deadlock) and " +
+		"mutexes held across blocking calls in concurrency-critical packages",
+	URL: "https://github.com/flare-project/flare/blob/main/DESIGN.md#locksafe",
+	Run: run,
+}
+
+// heldLock is one entry of the simulated held set.
+type heldLock struct {
+	class string
+	read  bool
+	pos   token.Pos
+	end   token.Pos
+}
+
+// orderEdge records "to acquired while holding from" with the sites
+// needed for the diagnostic.
+type orderEdge struct {
+	from, to   string
+	pos, end   token.Pos // acquisition site of `to`
+	heldAt     token.Pos // where `from` was taken
+	exemptable token.Pos // position the exempt directive is checked at
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !MonitoredPackages[path.Base(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	set := summary.For(pass)
+
+	var edges []orderEdge
+	for _, n := range set.Graph.Nodes() {
+		edges = append(edges, checkFunc(pass, set, n)...)
+	}
+	reportInversions(pass, edges)
+	return nil, nil
+}
+
+// checkFunc walks one function in source order with a held-lock
+// simulation, reporting held-across-blocking hazards and collecting
+// lock-order edges for the package-level inversion check.
+func checkFunc(pass *analysis.Pass, set *summary.Set, n *callgraph.Node) []orderEdge {
+	var edges []orderEdge
+
+	// Each go-launched literal runs with its own (empty) held set;
+	// frames isolates them from the enclosing function.
+	goLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if g, ok := m.(*ast.GoStmt); ok {
+			if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goLits[fl] = true
+			}
+		}
+		return true
+	})
+
+	frames := [][]heldLock{nil}
+	held := func() []heldLock { return frames[len(frames)-1] }
+	// reported dedups held-across-blocking findings per lock class so a
+	// critical section with several blocking statements reads as one
+	// finding, not a cascade.
+	reported := make(map[string]bool)
+
+	var stack []ast.Node
+	selComm := make(map[ast.Node]bool)
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if m == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fl, ok := top.(*ast.FuncLit); ok && goLits[fl] {
+				frames = frames[:len(frames)-1]
+			}
+			return true
+		}
+		stack = append(stack, m)
+		if fl, ok := m.(*ast.FuncLit); ok && goLits[fl] {
+			frames = append(frames, nil)
+		}
+		if sel, ok := m.(*ast.SelectStmt); ok {
+			summary.MarkSelectComms(sel, selComm)
+		}
+
+		call, isCall := m.(*ast.CallExpr)
+		if isCall {
+			if class, read, acquire, ok := summary.LockOp(pass, n.Func, call); ok {
+				deferred := len(stack) >= 2 && isDeferOf(stack[len(stack)-2], call)
+				cur := held()
+				if acquire {
+					for _, h := range cur {
+						if h.class != class {
+							edges = append(edges, orderEdge{
+								from: h.class, to: class,
+								pos: call.Pos(), end: call.End(),
+								heldAt: h.pos, exemptable: call.Pos(),
+							})
+						}
+					}
+					frames[len(frames)-1] = append(cur, heldLock{class: class, read: read, pos: call.Pos(), end: call.End()})
+				} else if !deferred {
+					// A deferred Unlock keeps the lock held until
+					// return; an inline one releases it here.
+					for i := len(cur) - 1; i >= 0; i-- {
+						if cur[i].class == class && cur[i].read == read {
+							frames[len(frames)-1] = append(cur[:i:i], cur[i+1:]...)
+							break
+						}
+					}
+				}
+				return true // a lock op is never itself a blocking hazard
+			}
+		}
+
+		// Blocking while write-holding a mutex: direct ops and calls
+		// into in-package functions whose summaries block.
+		// A `go fn(...)` call runs with a fresh goroutine (and a fresh,
+		// empty held set): neither its blocking nor its acquisitions
+		// happen under this frame's locks.
+		if summary.GoLaunched(stack, m) {
+			return true
+		}
+		if w := writeHeld(held()); w != nil {
+			if what, at, ok := summary.BlockingOp(pass, m); ok && !selComm[m] {
+				reportHeldAcross(pass, reported, w, what, nil, at.Pos(), at.End())
+			} else if isCall {
+				if fn := callgraph.Callee(pass, call); fn != nil && fn.Pkg() == pass.Pkg {
+					if cs := set.Of(fn); cs != nil && len(cs.Blocks) > 0 {
+						b := cs.Blocks[0]
+						via := b.Via
+						if via == nil {
+							via = fn
+						}
+						reportHeldAcross(pass, reported, w, b.What, via, call.Pos(), call.End())
+					}
+					// Lock-order edges through the callee: every class
+					// the callee (transitively) acquires is taken
+					// while our held set is live.
+					if cs := set.Of(fn); cs != nil {
+						for _, h := range held() {
+							for _, a := range cs.Acquires {
+								if a.Class == h.class {
+									continue
+								}
+								edges = append(edges, orderEdge{
+									from: h.class, to: a.Class,
+									pos: call.Pos(), end: call.End(),
+									heldAt: h.pos, exemptable: call.Pos(),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// writeHeld returns the most recent write-held lock, or nil. Read locks
+// held across blocking ops are tolerated: they stall only writers, and
+// the observability snapshot paths do it by design.
+func writeHeld(held []heldLock) *heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if !held[i].read {
+			return &held[i]
+		}
+	}
+	return nil
+}
+
+func reportHeldAcross(pass *analysis.Pass, reported map[string]bool, h *heldLock, what string, via *types.Func, pos, end token.Pos) {
+	if reported[h.class] || pass.Exempted(pos) {
+		return
+	}
+	reported[h.class] = true
+	msg := "mutex " + h.class + " held across blocking " + what
+	if via != nil {
+		msg += " (via " + via.Name() + ")"
+	}
+	msg += ": contenders stall for the full latency of the blocked call"
+	pass.Report(analysis.Diagnostic{
+		Pos: pos, End: end, Message: msg, Analyzer: pass.Analyzer.Name,
+		Related: []analysis.RelatedInformation{
+			{Pos: h.pos, End: h.end, Message: h.class + " acquired here"},
+		},
+	})
+}
+
+// reportInversions finds pairs of lock classes acquired in both orders
+// anywhere in the package and reports each pair once, at the
+// lexically-first edge, with the counter-edge as the related location.
+func reportInversions(pass *analysis.Pass, edges []orderEdge) {
+	first := make(map[[2]string]orderEdge)
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if have, ok := first[k]; !ok || e.pos < have.pos {
+			first[k] = e
+		}
+	}
+	var keys [][2]string
+	for k := range first {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	seen := make(map[[2]string]bool)
+	for _, k := range keys {
+		rk := [2]string{k[1], k[0]}
+		counter, inverted := first[rk]
+		if !inverted || seen[rk] {
+			continue
+		}
+		seen[k] = true
+		e := first[k]
+		// Report at whichever edge comes first in the file set.
+		if counter.pos < e.pos {
+			e, counter = counter, e
+		}
+		if pass.Exempted(e.exemptable) || pass.Exempted(counter.exemptable) {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: e.pos, End: e.end, Analyzer: pass.Analyzer.Name,
+			Message: "lock order inverted: " + e.to + " acquired while holding " + e.from +
+				", but elsewhere " + e.from + " is acquired while holding " + e.to +
+				" — two goroutines taking these paths concurrently can deadlock",
+			Related: []analysis.RelatedInformation{
+				{Pos: counter.pos, End: counter.end,
+					Message: e.from + " acquired while holding " + e.to + " here"},
+			},
+		})
+	}
+}
+
+// isDeferOf reports whether parent is a defer statement whose call is
+// exactly call.
+func isDeferOf(parent ast.Node, call *ast.CallExpr) bool {
+	d, ok := parent.(*ast.DeferStmt)
+	return ok && d.Call == call
+}

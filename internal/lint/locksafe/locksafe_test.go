@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"flare/internal/lint/linttest"
+	"flare/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "../testdata", locksafe.Analyzer, "locks")
+}

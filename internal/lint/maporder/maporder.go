@@ -15,10 +15,13 @@ import (
 	"go/types"
 
 	"flare/internal/lint/analysis"
+	"flare/internal/lint/callgraph"
+	"flare/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
+	URL:  "https://github.com/flare-project/flare/blob/main/DESIGN.md#maporder",
 	Doc: "flag map ranges whose body emits ordered output (append without a " +
 		"following sort, writer/encoder writes, metric emission)",
 	Run: run,
@@ -76,6 +79,7 @@ func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
 			checkAppend(pass, fn, rng, n)
 		case *ast.CallExpr:
 			checkCall(pass, rng, n)
+			checkCalleeWrites(pass, rng, n)
 		}
 		return true
 	})
@@ -192,6 +196,32 @@ func checkCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 			"metric %s.%s inside a map range: registration/update order becomes nondeterministic; iterate sorted keys instead",
 			recv, name)
 	}
+}
+
+// checkCalleeWrites flags calls to in-package functions whose summary
+// says they write to an ordered sink — the summary engine tracking the
+// nondeterminism through the helper the sink is wrapped in. Direct
+// writer/metric method names are left to checkCall, which already
+// reports them.
+func checkCalleeWrites(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	fn := callgraph.Callee(pass, call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return
+	}
+	if writerMethods[fn.Name()] || metricMethods[fn.Name()] {
+		return // checkCall's direct rules own these names
+	}
+	s := summary.For(pass).Of(fn)
+	if s == nil || !s.WritesOrdered || pass.Exempted(call.Pos()) {
+		return
+	}
+	what := s.WriteWhat
+	if s.WriteVia != nil {
+		what += " via " + s.WriteVia.Name()
+	}
+	pass.Reportf(call.Pos(),
+		"%s writes ordered output (%s) inside a map range: map iteration order leaks into the output stream; iterate sorted keys instead",
+		fn.Name(), what)
 }
 
 // receiverTypeName returns the named type of a method call receiver.

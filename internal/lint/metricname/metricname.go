@@ -26,6 +26,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
+	URL:  "https://github.com/flare-project/flare/blob/main/DESIGN.md#metricname",
 	Doc: "require constant flare_-prefixed metric names (_total for counters) " +
 		"and consistent re-registration at obs registration sites",
 	Run: run,

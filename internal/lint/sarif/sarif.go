@@ -1,0 +1,166 @@
+// Package sarif converts flarelint findings into a SARIF 2.1.0 log —
+// the interchange format GitHub code scanning ingests
+// (github/codeql-action/upload-sarif), so lint findings annotate pull
+// requests inline. One run per log, one rule per analyzer (helpUri
+// linking the invariant's documentation), one result per finding with
+// the full position span and any related locations. File paths are
+// emitted repo-relative against the %SRCROOT% uriBaseId, which the
+// uploader resolves to the checkout root.
+package sarif
+
+import (
+	"path/filepath"
+
+	"flare/internal/lint"
+	"flare/internal/lint/analysis"
+)
+
+// Log is a SARIF 2.1.0 top-level log.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules"`
+}
+
+type Rule struct {
+	ID               string  `json:"id"`
+	ShortDescription Message `json:"shortDescription"`
+	HelpURI          string  `json:"helpUri,omitempty"`
+}
+
+type Message struct {
+	Text string `json:"text"`
+}
+
+type Result struct {
+	RuleID           string     `json:"ruleId"`
+	RuleIndex        int        `json:"ruleIndex"`
+	Level            string     `json:"level"`
+	Message          Message    `json:"message"`
+	Locations        []Location `json:"locations"`
+	RelatedLocations []Location `json:"relatedLocations,omitempty"`
+}
+
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+	Message          *Message         `json:"message,omitempty"`
+}
+
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+type ArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// Convert builds the SARIF log for one lint run. analyzers defines the
+// rule table (every suite analyzer appears, found or not — code
+// scanning wants the full rule set); root anchors relative paths.
+func Convert(analyzers []*analysis.Analyzer, findings []lint.Finding, root string) *Log {
+	ruleIndex := make(map[string]int, len(analyzers))
+	rules := make([]Rule, 0, len(analyzers))
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
+		rules = append(rules, Rule{
+			ID:               a.Name,
+			ShortDescription: Message{Text: firstLine(a.Doc)},
+			HelpURI:          a.URL,
+		})
+	}
+	results := make([]Result, 0, len(findings))
+	for _, f := range findings {
+		idx, known := ruleIndex[f.Analyzer]
+		if !known {
+			idx = len(rules)
+			ruleIndex[f.Analyzer] = idx
+			rules = append(rules, Rule{ID: f.Analyzer, ShortDescription: Message{Text: f.Analyzer}})
+		}
+		r := Result{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   Message{Text: f.Message},
+			Locations: []Location{location(root, f.Position, f.End, "")},
+		}
+		for _, rel := range f.Related {
+			r.RelatedLocations = append(r.RelatedLocations, location(root, rel.Position, rel.End, rel.Message))
+		}
+		results = append(results, r)
+	}
+	return &Log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []Run{{
+			Tool: Tool{Driver: Driver{
+				Name:           "flarelint",
+				InformationURI: "https://github.com/flare-project/flare",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+func location(root string, pos lint.Position, end *lint.Position, msg string) Location {
+	region := &Region{StartLine: pos.Line, StartColumn: pos.Column}
+	if end != nil {
+		region.EndLine = end.Line
+		region.EndColumn = end.Column
+	}
+	if pos.Line == 0 {
+		region = nil // position-less cross-package findings
+	}
+	loc := Location{PhysicalLocation: PhysicalLocation{
+		ArtifactLocation: ArtifactLocation{URI: relURI(root, pos.File), URIBaseID: "%SRCROOT%"},
+		Region:           region,
+	}}
+	if msg != "" {
+		loc.Message = &Message{Text: msg}
+	}
+	return loc
+}
+
+// relURI maps a file path to the forward-slash repo-relative form SARIF
+// artifact locations use.
+func relURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

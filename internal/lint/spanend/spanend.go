@@ -23,6 +23,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "spanend",
+	URL:  "https://github.com/flare-project/flare/blob/main/DESIGN.md#spanend",
 	Doc:  "require End() on all paths for spans returned by StartSpan-style calls",
 	Run:  run,
 }

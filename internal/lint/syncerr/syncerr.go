@@ -22,6 +22,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "syncerr",
+	URL:  "https://github.com/flare-project/flare/blob/main/DESIGN.md#syncerr",
 	Doc: "forbid discarded Sync/Close/Rename/WAL-append errors on durability " +
 		"paths (internal/store, internal/metricdb, internal/report)",
 	Run: run,

@@ -1,0 +1,102 @@
+// Package goro is the goroleak fixture: spawned goroutines with no stop
+// path (directly, through a named function, and through a call inside a
+// literal), the stoppable shapes that must stay clean, and the
+// suppression directive.
+package goro
+
+import "context"
+
+// leakLiteral spins on a channel with no way out: the select has no
+// returning case and the unlabeled break (if someone added one) would
+// only leave the select.
+func leakLiteral(ch chan int) {
+	go func() { // want "goroutine has no stop path"
+		for {
+			select {
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// leakNamed spawns a named function that never returns.
+func leakNamed() {
+	go spinner() // want "goroutine has no stop path: spinner never returns"
+}
+
+// leakViaCall reaches the unstoppable loop through a call inside the
+// literal.
+func leakViaCall() {
+	go func() { // want "goroutine has no stop path: spinner never returns"
+		spinner()
+	}()
+}
+
+func spinner() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// innerBreak only escapes the select, not the loop: still a leak.
+func innerBreak(ch chan int) {
+	go func() { // want "goroutine has no stop path"
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// rangeLoop stops when the channel closes: clean.
+func rangeLoop(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// ctxLoop returns on cancellation: clean.
+func ctxLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// labeledBreak escapes through the label: clean.
+func labeledBreak(done, ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// condLoop is bounded by its condition: clean.
+func condLoop(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// exempted is a deliberate process-lifetime daemon.
+func exempted() {
+	//lint:exempt goroleak heartbeat daemon lives for the whole process
+	go spinner()
+}

@@ -42,3 +42,15 @@ func BadReasonlessDirective() time.Time {
 	//lint:deterministic-exempt
 	return time.Now() // want `time.Now in determinism-critical package kmeans`
 }
+
+// seedHelper's clock read is exempt at its own site (it feeds a banner),
+// but a seed derived from it is still clock-derived: the summary layer
+// must carry the taint through the call.
+func seedHelper() int64 {
+	//lint:deterministic-exempt wall-clock feeds a log banner only, never golden output
+	return time.Now().UnixNano()
+}
+
+func BadHelperSeed() *rand.Rand {
+	return rand.New(rand.NewSource(seedHelper())) // want `math/rand\.New seeded from the clock` `math/rand\.NewSource seeded from the clock`
+}

@@ -1,0 +1,144 @@
+// Package locks is the locksafe fixture: lock-order inversions, mutexes
+// held across blocking calls (directly and through callees), the
+// patterns that must stay clean, and the suppression directive.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// ab and ba acquire muA/muB in opposite orders: a classic deadlock.
+func ab() {
+	muA.Lock()
+	muB.Lock() // want "lock order inverted: locks.muB acquired while holding locks.muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// lockCD inverts against dc through a callee: the muD acquisition is
+// inside acquireD's summary, not this function's body.
+func lockCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	acquireD() // want "lock order inverted: locks.muD acquired while holding locks.muC"
+}
+
+func acquireD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+func dc() {
+	muD.Lock()
+	defer muD.Unlock()
+	muC.Lock()
+	muC.Unlock()
+}
+
+type S struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	n    int
+}
+
+// blockingSend holds the struct mutex across a channel send.
+func (s *S) blockingSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `mutex \(S\)\.mu held across blocking channel send`
+}
+
+// blockingViaCallee reaches the blocking op through an in-package call.
+func (s *S) blockingViaCallee() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sleepy() // want `mutex \(S\)\.mu held across blocking time.Sleep \(via sleepy\)`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+// releaseFirst unlocks before blocking: clean.
+func (s *S) releaseFirst() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}
+
+// condWait parks on a condition variable while holding its mutex: that
+// is the idiom — Wait releases the mutex — and must not be flagged.
+func (s *S) condWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+}
+
+// spawned goroutines start with an empty held set: the send inside the
+// literal is not "under" the caller's lock.
+func (s *S) spawns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// pollDone checks a done channel through a select with a default while
+// holding the mutex: non-blocking, must stay clean.
+func (s *S) pollDone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// selectNoDefault parks in a default-less select while holding the
+// mutex: flagged once as the select, not per comm clause.
+func (s *S) selectNoDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `mutex \(S\)\.mu held across blocking select`
+	case <-s.ch:
+	case s.ch <- 1:
+	}
+}
+
+// spawnsNamed launches a blocking named function with go while holding
+// the lock: the callee blocks on its own goroutine, so this is clean.
+func (s *S) spawnsNamed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go sleepy()
+}
+
+// exempted documents why holding the lock across the send is safe here.
+func (s *S) exempted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:exempt locksafe buffered handoff channel sized for worst-case fan-out
+	s.ch <- 1
+}

@@ -71,3 +71,33 @@ func GoodSortedKeys(w io.Writer, m map[string]int) {
 		fmt.Fprintf(w, "%s=%d\n", k, m[k])
 	}
 }
+
+// emit wraps the ordered sink one call deep: the summary layer must see
+// through it.
+func emit(w io.Writer, s string) {
+	fmt.Fprintf(w, "%s\n", s)
+}
+
+func BadHelperWrite(w io.Writer, m map[string]int) {
+	for k := range m {
+		emit(w, k) // want `emit writes ordered output \(fmt.Fprintf\) inside a map range`
+	}
+}
+
+func GoodHelperOutsideRange(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(w, k)
+	}
+}
+
+func ExemptedHelperWrite(w io.Writer, m map[string]int) {
+	for k := range m {
+		//lint:exempt maporder diagnostic dump, order-insensitive consumer
+		emit(w, k)
+	}
+}

@@ -299,7 +299,13 @@ func Run(ctx context.Context, target Target, sched *Schedule, opts Options) (*Re
 		// middleware hook AFTER the response bytes go out, so over a real
 		// network the last response can arrive before its counter moves.
 		// A short settle window makes the post-scrape see the full run.
-		time.Sleep(150 * time.Millisecond)
+		settle := time.NewTimer(150 * time.Millisecond)
+		select {
+		case <-settle.C:
+		case <-ctx.Done():
+			settle.Stop()
+			return nil, ctx.Err()
+		}
 		post, err := scrapeMetrics(target)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: post-run metrics scrape: %w", err)

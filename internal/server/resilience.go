@@ -124,6 +124,11 @@ func (s *Server) persistEstimate(resp estimateResponse) error {
 			return fmt.Errorf("server: creating %s table: %w", estimatesTable, err)
 		}
 	}
+	// The estimate is computed once per key by a detached singleflight
+	// goroutine serving every waiter, and the journal entry is the audit
+	// record of what was served — it must complete (or exhaust retries)
+	// even when the requester that triggered the computation hangs up.
+	//lint:exempt ctxflow audit journaling is deliberately detached from request cancellation
 	return s.opts.Retry.Do(context.Background(), func() error {
 		return t.Insert(metricdb.Row{
 			metricdb.String(resp.Feature),

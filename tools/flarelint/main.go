@@ -1,16 +1,22 @@
 // Command flarelint machine-checks FLARE's determinism, observability,
-// and durability invariants (see DESIGN.md "Static analysis & enforced
-// invariants"). It runs five analyzers — detrand, maporder,
-// metricname, spanend, syncerr — in two modes:
+// durability, and concurrency invariants (see DESIGN.md "Static
+// analysis & enforced invariants"). It runs eight analyzers — detrand,
+// maporder, metricname, spanend, syncerr, and the summary-driven
+// ctxflow, goroleak, locksafe — in two modes:
 //
 // Standalone (the make lint / CI entry point):
 //
-//	flarelint [-dir moduleroot] [-json] [-analyzers a,b] [packages...]
+//	flarelint [-dir moduleroot] [-json] [-sarif file] [-baseline file]
+//	          [-write-baseline] [-analyzers a,b] [packages...]
 //
 // loads the named package patterns (default ./...) via the go
 // toolchain and prints one line per finding, exiting 1 when anything
 // is found. -json writes machine-readable diagnostics to stdout (one
-// JSON array) while the human-readable lines go to stderr.
+// JSON array) while the human-readable lines go to stderr. -sarif
+// writes a SARIF 2.1.0 log ("-" for stdout) for GitHub code scanning.
+// -baseline filters findings against a committed baseline file so only
+// new violations gate; -write-baseline re-blesses the current findings
+// into that file.
 //
 // Vet tool (per-package, driven by the go command):
 //
@@ -28,10 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"flare/internal/lint"
 	"flare/internal/lint/analysis"
+	"flare/internal/lint/sarif"
 )
 
 func main() {
@@ -49,10 +57,13 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("flarelint", flag.ExitOnError)
 	var (
-		dir      = fs.String("dir", ".", "module root to analyze")
-		jsonOut  = fs.Bool("json", false, "write findings as JSON to stdout")
-		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		versionV = fs.String("V", "", "internal: go tool version protocol")
+		dir       = fs.String("dir", ".", "module root to analyze")
+		jsonOut   = fs.Bool("json", false, "write findings as JSON to stdout")
+		sarifOut  = fs.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+		basePath  = fs.String("baseline", "", "filter findings against this baseline file (only new violations gate)")
+		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
+		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		versionV  = fs.String("V", "", "internal: go tool version protocol")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: flarelint [flags] [package patterns]\n\nAnalyzers:\n")
@@ -96,6 +107,52 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "flarelint:", err)
 		return 2
 	}
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		root = *dir
+	}
+
+	if *writeBase {
+		if *basePath == "" {
+			fmt.Fprintln(os.Stderr, "flarelint: -write-baseline requires -baseline <file>")
+			return 2
+		}
+		f, err := os.Create(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+		if err := lint.WriteBaseline(f, findings, root); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "flarelint: baselined %d finding(s) into %s\n", len(findings), *basePath)
+		return 0
+	}
+
+	baselined := 0
+	if *basePath != "" {
+		f, err := os.Open(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+		entries, err := lint.ReadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+		kept := lint.FilterBaseline(findings, entries, root)
+		baselined = len(findings) - len(kept)
+		findings = kept
+	}
+
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
@@ -110,11 +167,41 @@ func run(args []string) int {
 			return 2
 		}
 	}
+	if *sarifOut != "" {
+		if err := emitSARIF(*sarifOut, analyzers, findings, root); err != nil {
+			fmt.Fprintln(os.Stderr, "flarelint:", err)
+			return 2
+		}
+	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "flarelint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "flarelint: %d finding(s)", len(findings))
+		if baselined > 0 {
+			fmt.Fprintf(os.Stderr, " (%d more baselined)", baselined)
+		}
+		fmt.Fprintln(os.Stderr)
 		return 1
 	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "flarelint: clean (%d baselined finding(s) suppressed)\n", baselined)
+	}
 	return 0
+}
+
+// emitSARIF writes the post-baseline findings as a SARIF 2.1.0 log.
+func emitSARIF(path string, analyzers []*analysis.Analyzer, findings []lint.Finding, root string) error {
+	log := sarif.Convert(analyzers, findings, root)
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
